@@ -1,0 +1,44 @@
+"""Reproduces Section 5, experiment 2: optimality of the RS reduction heuristic.
+
+Paper claim (percentages of all instances):
+
+* RS = RS* and ILP = ILP* : 72.22 %   (dominant category)
+* RS = RS* and ILP < ILP* : 18.5  %
+* RS > RS* and ILP = ILP* :  4.63 %
+* RS > RS* and ILP < ILP* : < 1   %
+* RS > RS* and ILP > ILP* :  3.7  %
+* RS = RS* and ILP > ILP* : impossible
+* RS < RS*                : impossible
+
+We do not expect to match the absolute percentages (different DAG
+population, different solver), but the shape must hold: the dominant
+category is optimal-RS/optimal-ILP, and the two impossible categories are
+never observed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_BREAKDOWN, run_reduction_optimality, section
+
+
+def test_reduction_optimality_breakdown(benchmark, tiny_kernel_suite, machine):
+    report = benchmark.pedantic(
+        lambda: run_reduction_optimality(
+            suite=tiny_kernel_suite, machine=machine, max_nodes=12, time_limit=90
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(section("Section 5 / RS reduction: heuristic vs optimal"))
+    print(report.to_table())
+    print()
+    print(report.breakdown_report())
+    print(f"instances where even the optimal method must spill: {report.spill_instances}")
+
+    assert report.instances >= 3
+    assert report.impossible_cases_observed == 0, "impossible categories observed"
+    pct = report.category_percentages()
+    # dominant category: optimal RS reduction with optimal ILP loss
+    assert report.dominant_category == "RS=RS* ILP=ILP*"
+    assert pct["RS=RS* ILP=ILP*"] >= 50.0

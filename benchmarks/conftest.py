@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table/figure/claim of the paper (see
+DESIGN.md's per-experiment index) and prints the reproduced numbers next to
+the paper's where applicable.  The suites used here are intentionally small
+so the whole harness runs in a few minutes on a laptop; pass larger suites
+through the experiment API for a fuller run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes import benchmark_suite, kernel_suite
+from repro.core import superscalar
+
+
+@pytest.fixture(scope="session")
+def small_kernel_suite():
+    """Kernels (plus a few random DDGs) small enough for the exact RS intLP."""
+
+    return benchmark_suite(max_size=24)
+
+
+@pytest.fixture(scope="session")
+def tiny_kernel_suite():
+    """DAGs small enough for the exact *reduction* intLP (the slow one)."""
+
+    return benchmark_suite(max_size=12)
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    return benchmark_suite(max_size=26)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return superscalar()

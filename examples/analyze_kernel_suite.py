@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Survey the register pressure of the whole kernel suite.
+
+For every loop body of the benchmark population this prints, per register
+type: the number of values, the cheap bounds, the Greedy-k saturation RS*,
+and -- for the graphs small enough -- the exact saturation RS, reproducing in
+miniature the measurement campaign of the paper's Section 5.
+
+Run with::
+
+    python examples/analyze_kernel_suite.py [--exact-limit N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.codes import kernel_suite
+from repro.experiments import format_table
+from repro.saturation import exact_saturation, greedy_saturation, saturation_bounds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--exact-limit",
+        type=int,
+        default=20,
+        help="solve the exact intLP only for DAGs with at most this many operations",
+    )
+    args = parser.parse_args()
+
+    rows = []
+    errors = []
+    for entry in kernel_suite():
+        for rtype in entry.ddg.register_types():
+            bounds = saturation_bounds(entry.ddg, rtype)
+            greedy = greedy_saturation(entry.ddg, rtype)
+            if entry.size <= args.exact_limit:
+                exact = exact_saturation(entry.ddg, rtype, time_limit=60)
+                exact_value = str(exact.rs)
+                errors.append(exact.rs - greedy.rs)
+            else:
+                exact_value = "-"
+            rows.append(
+                (
+                    entry.name,
+                    entry.category,
+                    rtype.name,
+                    entry.size,
+                    len(entry.ddg.values(rtype)),
+                    f"{bounds.lower}..{bounds.upper}",
+                    greedy.rs,
+                    exact_value,
+                )
+            )
+
+    print(
+        format_table(
+            ["kernel", "category", "type", "ops", "values", "bounds", "RS*", "RS"],
+            rows,
+            title="Register pressure of the benchmark kernels",
+        )
+    )
+    if errors:
+        print(f"\nexact comparisons: {len(errors)}, heuristic error histogram: "
+              f"{ {e: errors.count(e) for e in sorted(set(errors))} }")
+        print("(paper: the maximal empirical error of RS* is one register)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Spill avoidance study: why register pressure should be handled before scheduling.
+
+The paper's introduction argues that spill code is more damaging than a
+slightly longer schedule because memory latency dominates ("the memory
+gap").  This example quantifies that trade-off on an unrolled DAXPY loop
+body compiled for a superscalar machine with a small floating-point register
+file, comparing three strategies:
+
+* **RS management** (the paper's proposal): reduce the register saturation
+  below the register count, then schedule register-blind and allocate;
+* **register-pressure-aware scheduling**: a combined scheduler that delays
+  operations when too many values are live (the "selfish" first pass the
+  paper warns about);
+* **schedule-then-spill**: the classic iterative baseline that inserts
+  store/reload pairs until the allocation fits.
+
+Run with::
+
+    python examples/superscalar_spill_avoidance.py
+"""
+
+from __future__ import annotations
+
+from repro import superscalar
+from repro.allocation import linear_scan_allocate, schedule_with_spilling
+from repro.codes.kernels import daxpy_unrolled
+from repro.core.types import FLOAT
+from repro.reduction import reduce_saturation_heuristic
+from repro.saturation import greedy_saturation
+from repro.scheduling import evaluate_schedule, list_schedule, register_pressure_aware_schedule
+
+
+def main() -> None:
+    registers = 5
+    machine = superscalar(float_registers=registers, issue_width=4)
+    ddg = daxpy_unrolled(4)
+    rs = greedy_saturation(ddg, FLOAT)
+    print(f"kernel {ddg.name!r}: {ddg.n} operations, float saturation RS* = {rs.rs}, "
+          f"register file = {registers}")
+
+    # --- strategy 1: the paper's RS management ---------------------------- #
+    reduction = reduce_saturation_heuristic(ddg, FLOAT, registers, machine=machine)
+    managed = reduction.extended_ddg.with_bottom()
+    schedule = list_schedule(managed, machine)
+    allocation = linear_scan_allocate(managed, schedule, FLOAT, registers=registers)
+    metrics = evaluate_schedule(managed, schedule)
+    print("\n[1] RS management (reduce, then schedule register-blind)")
+    print(f"    serial arcs added : {reduction.arcs_added} (critical path +{reduction.ilp_loss})")
+    print(f"    schedule length   : {metrics.total_time} cycles")
+    print(f"    registers used    : {allocation.registers_used}, spill-free: {allocation.success}")
+
+    # --- strategy 2: register-pressure-aware combined scheduling ---------- #
+    g = ddg.with_bottom()
+    aware = register_pressure_aware_schedule(g, FLOAT, registers, machine=machine)
+    aware_alloc = linear_scan_allocate(g, aware, FLOAT, registers=registers)
+    aware_metrics = evaluate_schedule(g, aware)
+    print("\n[2] register-pressure-aware combined scheduler")
+    print(f"    schedule length   : {aware_metrics.total_time} cycles")
+    print(f"    register need     : {aware_metrics.register_need(FLOAT)}, "
+          f"spill-free: {aware_alloc.success}")
+
+    # --- strategy 3: schedule first, spill iteratively -------------------- #
+    baseline = schedule_with_spilling(ddg, FLOAT, registers, machine=machine)
+    base_metrics = evaluate_schedule(baseline.ddg.with_bottom(), baseline.schedule)
+    print("\n[3] schedule-then-spill baseline")
+    print(f"    values spilled    : {len(baseline.spilled_values)}")
+    print(f"    memory ops added  : {baseline.memory_operations_added}")
+    print(f"    schedule length   : {base_metrics.total_time} cycles")
+
+    print("\n=> RS management pays (at most) a small critical-path increase instead of the"
+          "\n   memory traffic and latency that spilling injects into the loop body.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Full Figure-1 compile pipeline on a VLIW target.
+
+Scenario: a DSP loop body (6-tap FIR filter) must be compiled for a VLIW
+machine with a small floating-point register file.  The pipeline is the one
+the paper proposes:
+
+    DDG -> RS computation -> RS reduction (if needed) -> list scheduling
+        -> linear-scan register allocation
+
+and it is compared against the classic baseline that schedules first and
+iteratively spills whatever does not fit.
+
+Run with::
+
+    python examples/vliw_compile_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import superscalar, vliw
+from repro.allocation import linear_scan_allocate, schedule_with_spilling
+from repro.codes import suite_by_name
+from repro.core import retarget
+from repro.core.types import FLOAT, INT
+from repro.reduction import reduce_saturation_heuristic
+from repro.saturation import greedy_saturation
+from repro.scheduling import evaluate_schedule, list_schedule
+
+
+def compile_with_rs_management(ddg, rtype, machine):
+    """The paper's flow: RS analysis first, then register-blind scheduling."""
+
+    budget = machine.registers(rtype)
+    saturation = greedy_saturation(ddg, rtype)
+    working = ddg
+    arcs_added = 0
+    if saturation.rs > budget:
+        reduction = reduce_saturation_heuristic(ddg, rtype, budget, machine=machine)
+        if not reduction.success:
+            raise SystemExit(f"cannot fit {rtype} pressure into {budget} registers without spill")
+        working = reduction.extended_ddg
+        arcs_added = reduction.arcs_added
+    scheduled = working.with_bottom()
+    schedule = list_schedule(scheduled, machine)
+    allocation = linear_scan_allocate(scheduled, schedule, rtype, registers=budget)
+    metrics = evaluate_schedule(scheduled, schedule)
+    return saturation, arcs_added, schedule, allocation, metrics
+
+
+def main() -> None:
+    machine = vliw(float_registers=8, int_registers=8)
+    entry = suite_by_name("dsp-fir6")
+    ddg = retarget(entry.ddg, machine)   # stamp the VLIW read/write offsets
+    print(f"kernel {entry.name!r}: {ddg.n} operations on machine {machine.name!r}")
+
+    for rtype in (FLOAT, INT):
+        budget = machine.registers(rtype)
+        saturation, arcs, schedule, allocation, metrics = compile_with_rs_management(
+            ddg, rtype, machine
+        )
+        print(f"\n--- register type {rtype.name} (budget {budget}) ---")
+        print(f"register saturation RS* = {saturation.rs}")
+        print(f"serial arcs added by the reduction pass: {arcs}")
+        print(f"schedule length: {metrics.total_time} cycles "
+              f"(critical path {metrics.critical_path})")
+        print(f"registers used by the allocator: {allocation.registers_used} "
+              f"(spill-free: {allocation.success})")
+
+    # Baseline for the float pressure: schedule first, spill iteratively.
+    baseline = schedule_with_spilling(ddg, FLOAT, machine.registers(FLOAT), machine=machine)
+    base_metrics = evaluate_schedule(baseline.ddg.with_bottom(), baseline.schedule)
+    print("\n--- baseline: combined scheduling with iterative spilling (float) ---")
+    print(f"values spilled: {len(baseline.spilled_values)}, "
+          f"memory operations inserted: {baseline.memory_operations_added}")
+    print(f"schedule length: {base_metrics.total_time} cycles")
+    print("\n=> the RS-managed flow reaches a spill-free allocation without touching memory,")
+    print("   which is the point of handling register pressure before scheduling.")
+
+
+if __name__ == "__main__":
+    main()

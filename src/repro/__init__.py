@@ -1,0 +1,139 @@
+"""repro -- a reproduction of "On the Optimality of Register Saturation" (Touati, ICPP 2004).
+
+The library implements the paper's register-saturation framework for acyclic
+data dependence graphs (DAGs/DDGs):
+
+* :mod:`repro.core` -- the DAG and processor model (operations, flow/serial
+  arcs, latencies, register types, read/write offsets, schedules, lifetimes,
+  register need);
+* :mod:`repro.saturation` -- computing the register saturation ``RS_t(G)``,
+  the maximal register need over **all** valid schedules: the Greedy-k
+  heuristic and the exact integer linear program of Section 3;
+* :mod:`repro.reduction` -- reducing the saturation below a register budget
+  by adding serial arcs: the value-serialization heuristic, the optimal
+  intLP method of Section 4, and the register-minimization baseline of
+  Section 6;
+* :mod:`repro.scheduling` / :mod:`repro.allocation` -- the downstream
+  instruction scheduler and register allocator of Figure 1, plus the
+  schedule-then-spill baseline;
+* :mod:`repro.ilp` -- the integer-programming substrate (modelling layer,
+  logical-operator linearization, HiGHS and branch-and-bound backends);
+* :mod:`repro.codes` -- a small IR, dependence analysis, hand-written
+  benchmark kernels and random DDG generators;
+* :mod:`repro.experiments` -- the harness regenerating every quantitative
+  claim of the paper's evaluation.
+
+Quickstart::
+
+    from repro import DDGBuilder, compute_saturation, reduce_saturation
+
+    g = (DDGBuilder("example").default_type("int")
+         .value("a", latency=2).value("b", latency=2).value("c", latency=2)
+         .op("sum")
+         .flow("a", "sum").flow("b", "sum").flow("c", "sum")
+         .build())
+    rs = compute_saturation(g, "int", method="exact")
+    print(rs.rs)                       # 3: all three values can be alive at once
+    reduced = reduce_saturation(g, "int", registers=2)
+    print(reduced.success, reduced.ilp_loss)
+"""
+
+from ._version import __version__
+from .core import (
+    BOTTOM,
+    DDG,
+    DDGBuilder,
+    Edge,
+    FLOAT,
+    INT,
+    LifetimeInterval,
+    Operation,
+    ProcessorModel,
+    RegisterType,
+    Schedule,
+    Value,
+    asap_schedule,
+    epic,
+    register_need,
+    superscalar,
+    value_lifetimes,
+    vliw,
+)
+from .errors import (
+    AllocationError,
+    CyclicGraphError,
+    GraphError,
+    InfeasibleError,
+    KillingFunctionError,
+    ModelError,
+    ReductionError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+    SpillRequiredError,
+    UnboundedError,
+)
+from .reduction import (
+    ReductionResult,
+    minimize_register_need,
+    reduce_saturation,
+    reduce_saturation_exact,
+    reduce_saturation_heuristic,
+    solve_src,
+)
+from .saturation import (
+    SaturationResult,
+    compute_saturation,
+    exact_saturation,
+    greedy_saturation,
+    saturation_bounds,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "DDG",
+    "DDGBuilder",
+    "Edge",
+    "Operation",
+    "Schedule",
+    "Value",
+    "RegisterType",
+    "LifetimeInterval",
+    "ProcessorModel",
+    "INT",
+    "FLOAT",
+    "BOTTOM",
+    "superscalar",
+    "vliw",
+    "epic",
+    "asap_schedule",
+    "register_need",
+    "value_lifetimes",
+    # saturation
+    "SaturationResult",
+    "compute_saturation",
+    "greedy_saturation",
+    "exact_saturation",
+    "saturation_bounds",
+    # reduction
+    "ReductionResult",
+    "reduce_saturation",
+    "reduce_saturation_heuristic",
+    "reduce_saturation_exact",
+    "minimize_register_need",
+    "solve_src",
+    # errors
+    "ReproError",
+    "GraphError",
+    "CyclicGraphError",
+    "ScheduleError",
+    "ModelError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "KillingFunctionError",
+    "ReductionError",
+    "SpillRequiredError",
+    "AllocationError",
+]

@@ -1,0 +1,24 @@
+"""Register-allocation substrate: the allocator of Figure 1 plus spill baselines."""
+
+from .graph_coloring import color_allocate
+from .intervals import LiveInterval, live_intervals, maxlive
+from .linear_scan import AllocationResult, linear_scan_allocate
+from .spill import (
+    DEFAULT_MEMORY_LATENCY,
+    SpillOutcome,
+    insert_spill_code,
+    schedule_with_spilling,
+)
+
+__all__ = [
+    "LiveInterval",
+    "live_intervals",
+    "maxlive",
+    "AllocationResult",
+    "linear_scan_allocate",
+    "color_allocate",
+    "SpillOutcome",
+    "insert_spill_code",
+    "schedule_with_spilling",
+    "DEFAULT_MEMORY_LATENCY",
+]

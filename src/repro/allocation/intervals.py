@@ -1,0 +1,58 @@
+"""Live-interval extraction for register allocation.
+
+The register allocator of Figure 1 runs after scheduling: for a given
+schedule the lifetime interval of every value is fixed, the interference
+graph is an interval graph, and the minimum number of registers needed
+without spilling is exactly MAXLIVE.  This module bridges the lifetime
+analysis of :mod:`repro.core.lifetime` to the allocators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.graph import DDG
+from ..core.lifetime import LifetimeInterval, max_simultaneously_alive, value_lifetimes
+from ..core.schedule import Schedule
+from ..core.types import RegisterType, Value, canonical_type
+
+__all__ = ["LiveInterval", "live_intervals", "maxlive"]
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """A value's live range prepared for allocation (sorted by start)."""
+
+    value: Value
+    start: int
+    end: int
+
+    @property
+    def empty(self) -> bool:
+        return self.end <= self.start
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        if self.empty or other.empty:
+            return False
+        return self.end > other.start and other.end > self.start
+
+
+def live_intervals(
+    ddg: DDG, schedule: Schedule, rtype: RegisterType | str
+) -> List[LiveInterval]:
+    """Live intervals of every value of *rtype*, sorted by increasing start."""
+
+    rtype = canonical_type(rtype)
+    raw = value_lifetimes(ddg, schedule, rtype)
+    intervals = [LiveInterval(iv.value, iv.birth, iv.death) for iv in raw]
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.value.node))
+    return intervals
+
+
+def maxlive(ddg: DDG, schedule: Schedule, rtype: RegisterType | str) -> int:
+    """MAXLIVE: the maximal number of simultaneously live values (= min registers)."""
+
+    rtype = canonical_type(rtype)
+    count, _ = max_simultaneously_alive(value_lifetimes(ddg, schedule, rtype))
+    return count

@@ -1,0 +1,108 @@
+"""Linear-scan register allocation on scheduled code.
+
+For a fixed schedule the interference graph of the values is an interval
+graph, and the greedy left-to-right scan colours it optimally: it never uses
+more than MAXLIVE registers and fails (reports candidates to spill) exactly
+when MAXLIVE exceeds the budget.  This is the allocator used to validate the
+end-to-end claim of Figure 1: once the register saturation has been reduced
+below ``R_t``, *any* subsequent schedule can be allocated with ``R_t``
+registers and no spill.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.graph import DDG
+from ..core.schedule import Schedule
+from ..core.types import RegisterType, Value, canonical_type
+from ..errors import AllocationError
+from .intervals import LiveInterval, live_intervals
+
+__all__ = ["AllocationResult", "linear_scan_allocate"]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a register allocation.
+
+    ``assignment`` maps each value to a register index (0-based);
+    ``spilled`` lists the values that did not fit when a budget was imposed.
+    """
+
+    rtype: RegisterType
+    registers_used: int
+    assignment: Dict[Value, int] = field(default_factory=dict)
+    spilled: Tuple[Value, ...] = ()
+
+    @property
+    def success(self) -> bool:
+        return not self.spilled
+
+    def register_of(self, value: Value) -> Optional[int]:
+        return self.assignment.get(value)
+
+
+def linear_scan_allocate(
+    ddg: DDG,
+    schedule: Schedule,
+    rtype: RegisterType | str,
+    registers: Optional[int] = None,
+) -> AllocationResult:
+    """Allocate the values of *rtype* to registers by linear scan.
+
+    Without a budget the allocation always succeeds and uses exactly MAXLIVE
+    registers.  With a budget, values that cannot be assigned are reported in
+    ``spilled`` (the classic furthest-end eviction rule chooses which); the
+    caller decides whether to actually insert spill code
+    (:mod:`repro.allocation.spill`).
+    """
+
+    rtype = canonical_type(rtype)
+    intervals = live_intervals(ddg, schedule, rtype)
+
+    assignment: Dict[Value, int] = {}
+    spilled: List[Value] = []
+    free: List[int] = []          # reusable register indices (min-heap)
+    next_fresh = 0                # next never-used register index
+    active: List[Tuple[int, Value, int]] = []  # (end, value, register)
+
+    for interval in intervals:
+        # Expire intervals that ended at or before this start (half-open
+        # lifetimes: an interval ending exactly at another's start is free).
+        while active and active[0][0] <= interval.start:
+            _, _, reg = heapq.heappop(active)
+            heapq.heappush(free, reg)
+        if interval.empty:
+            # A value that dies at birth never occupies a register.
+            assignment[interval.value] = free[0] if free else next_fresh
+            continue
+        if free:
+            reg = heapq.heappop(free)
+        elif registers is None or next_fresh < registers:
+            reg = next_fresh
+            next_fresh += 1
+        else:
+            # Budget exhausted: spill the active interval with the furthest
+            # end if it outlives the current one, otherwise spill the current.
+            furthest = max(active, key=lambda item: item[0]) if active else None
+            if furthest is not None and furthest[0] > interval.end:
+                active.remove(furthest)
+                heapq.heapify(active)
+                spilled.append(furthest[1])
+                reg = furthest[2]
+            else:
+                spilled.append(interval.value)
+                continue
+        assignment[interval.value] = reg
+        heapq.heappush(active, (interval.end, interval.value, reg))
+
+    used = len({r for v, r in assignment.items()}) if assignment else 0
+    return AllocationResult(
+        rtype=rtype,
+        registers_used=used,
+        assignment=assignment,
+        spilled=tuple(spilled),
+    )

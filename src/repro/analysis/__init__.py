@@ -1,0 +1,51 @@
+"""Structural graph analyses shared by the saturation and reduction passes."""
+
+from .antichain import (
+    brute_force_maximum_antichain,
+    is_antichain,
+    maximum_antichain,
+    maximum_antichain_size,
+    minimum_chain_cover_size,
+)
+from .graphalgo import (
+    NEG_INF,
+    alap_times,
+    ancestors,
+    asap_times,
+    critical_path_length,
+    descendants,
+    descendants_map,
+    longest_path_matrix,
+    longest_path_to_sinks,
+    longest_paths_from,
+    redundant_edges,
+    transitive_closure_pairs,
+    worst_case_total_time,
+)
+from .stats import Summary, fit_power_law, geometric_mean, percentage_breakdown, summarize
+
+__all__ = [
+    "NEG_INF",
+    "alap_times",
+    "ancestors",
+    "asap_times",
+    "critical_path_length",
+    "descendants",
+    "descendants_map",
+    "longest_path_matrix",
+    "longest_path_to_sinks",
+    "longest_paths_from",
+    "redundant_edges",
+    "transitive_closure_pairs",
+    "worst_case_total_time",
+    "maximum_antichain",
+    "maximum_antichain_size",
+    "minimum_chain_cover_size",
+    "is_antichain",
+    "brute_force_maximum_antichain",
+    "Summary",
+    "summarize",
+    "percentage_breakdown",
+    "fit_power_law",
+    "geometric_mean",
+]

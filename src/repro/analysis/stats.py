@@ -1,0 +1,87 @@
+"""Small statistics helpers shared by the experiment harness and the benches.
+
+Nothing here is specific to register saturation; the helpers keep the
+experiment code readable (percentage breakdowns, simple descriptive stats,
+least-squares growth-exponent fits for the intLP size study).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "percentage_breakdown",
+    "fit_power_law",
+    "geometric_mean",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of a numeric sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        std=float(data.std(ddof=0)),
+    )
+
+
+def percentage_breakdown(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Convert a category -> count mapping into category -> percentage (of the total)."""
+
+    total = sum(counts.values())
+    if total == 0:
+        return {k: 0.0 for k in counts}
+    return {k: 100.0 * v / total for k, v in counts.items()}
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Fit ``y = c * x^alpha`` by least squares in log space; returns ``(alpha, c)``.
+
+    Zero values are dropped (they carry no information about the exponent).
+    Used by the intLP size study to check the O(n^2) variable-count claim.
+    """
+
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points to fit a power law")
+    lx = np.log([p[0] for p in pairs])
+    ly = np.log([p[1] for p in pairs])
+    alpha, logc = np.polyfit(lx, ly, 1)
+    return float(alpha), float(math.exp(logc))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    data = [v for v in values if v > 0]
+    if not data:
+        return float("nan")
+    return float(math.exp(sum(math.log(v) for v in data) / len(data)))

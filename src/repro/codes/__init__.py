@@ -1,0 +1,29 @@
+"""Benchmark code substrate: a tiny IR, dependence analysis, kernels and generators."""
+
+from .dependence import AliasPolicy, build_ddg
+from .generator import (
+    layered_random_ddg,
+    random_expression_forest,
+    random_loop_body,
+    random_suite,
+)
+from .ir import Block, Instruction, DEFAULT_LATENCIES
+from .suite import SuiteEntry, benchmark_suite, kernel_suite, suite_by_name
+from . import kernels
+
+__all__ = [
+    "Block",
+    "Instruction",
+    "DEFAULT_LATENCIES",
+    "AliasPolicy",
+    "build_ddg",
+    "layered_random_ddg",
+    "random_expression_forest",
+    "random_loop_body",
+    "random_suite",
+    "SuiteEntry",
+    "benchmark_suite",
+    "kernel_suite",
+    "suite_by_name",
+    "kernels",
+]

@@ -1,0 +1,215 @@
+"""Seeded random DDG generators.
+
+The hand-written kernels cover the classic benchmark shapes; the generators
+below extend the population for the optimality experiments (Section 5 needs
+a large number of DAGs to produce meaningful percentages) and for the
+property-based tests.  All generators are deterministic for a given seed.
+
+Three families are provided:
+
+* :func:`layered_random_ddg` -- the classic random-DAG model used in
+  scheduling papers: nodes are placed on layers, arcs only go downwards;
+* :func:`random_expression_forest` -- a set of expression trees whose leaves
+  are loads, the shape of compiler-generated arithmetic blocks;
+* :func:`random_loop_body` -- a load/compute/store mixture parameterised by
+  its ILP degree, mimicking the kernels' structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.graph import DDG
+from ..core.operation import Operation
+from ..core.types import FLOAT, INT, RegisterType, canonical_type
+from .dependence import build_ddg
+from .ir import Block
+
+__all__ = [
+    "layered_random_ddg",
+    "random_expression_forest",
+    "random_loop_body",
+    "random_suite",
+]
+
+
+def layered_random_ddg(
+    nodes: int,
+    layers: int = 4,
+    edge_probability: float = 0.35,
+    max_latency: int = 4,
+    value_probability: float = 0.8,
+    rtype: RegisterType | str = INT,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> DDG:
+    """A layered random DAG with flow arcs between consecutive (or later) layers."""
+
+    rng = random.Random(seed)
+    rtype = canonical_type(rtype)
+    ddg = DDG(name or f"layered-n{nodes}-s{seed}")
+    layer_of: List[int] = []
+    for i in range(nodes):
+        layer = min(int(i * layers / nodes), layers - 1)
+        produces = rng.random() < value_probability
+        ddg.add_operation(
+            Operation(
+                f"n{i}",
+                defs=frozenset({rtype}) if produces else frozenset(),
+                latency=rng.randint(1, max_latency),
+                opcode="op",
+            )
+        )
+        layer_of.append(layer)
+
+    for i in range(nodes):
+        if not ddg.operation(f"n{i}").defines(rtype):
+            continue
+        for j in range(i + 1, nodes):
+            if layer_of[j] <= layer_of[i]:
+                continue
+            if rng.random() < edge_probability / max(1, layer_of[j] - layer_of[i]):
+                ddg.add_flow_edge(f"n{i}", f"n{j}", rtype)
+    # Give isolated non-source nodes at least one incoming serial arc so the
+    # graph is connected enough to be interesting.
+    for j in range(1, nodes):
+        if ddg.in_degree(f"n{j}") == 0 and rng.random() < 0.5:
+            i = rng.randrange(0, j)
+            ddg.add_serial_edge(f"n{i}", f"n{j}", latency=rng.randint(0, 2))
+    return ddg
+
+
+def random_expression_forest(
+    trees: int = 3,
+    depth: int = 3,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> DDG:
+    """A forest of binary expression trees whose leaves are memory loads."""
+
+    rng = random.Random(seed)
+    b = Block(name or f"expr-forest-t{trees}-d{depth}-s{seed}")
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def gen_tree(current_depth: int) -> str:
+        if current_depth == 0 or (current_depth < depth and rng.random() < 0.2):
+            return b.load(fresh("leaf"), fresh("addr"), region=fresh("r"))
+        left = gen_tree(current_depth - 1)
+        right = gen_tree(current_depth - 1)
+        opcode = rng.choice(["fadd", "fsub", "fmul"])
+        return b._binary(opcode, fresh("t"), left, right)
+
+    for _ in range(trees):
+        root = gen_tree(depth)
+        b.store(root, fresh("out"), region=fresh("out"))
+    return build_ddg(b)
+
+
+def random_loop_body(
+    operations: int = 20,
+    ilp_degree: int = 3,
+    seed: int = 0,
+    float_fraction: float = 0.7,
+    name: Optional[str] = None,
+) -> DDG:
+    """A random loop body: *ilp_degree* independent strands of load/compute/store.
+
+    Each strand is a dependence chain; strands occasionally exchange values,
+    which creates the cross-chain reuse that makes register pressure
+    interesting.
+    """
+
+    rng = random.Random(seed)
+    b = Block(name or f"loop-n{operations}-ilp{ilp_degree}-s{seed}")
+    strands: List[List[str]] = [[] for _ in range(max(1, ilp_degree))]
+    emitted = 0
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    while emitted < operations:
+        strand = rng.randrange(len(strands))
+        chain = strands[strand]
+        is_float = rng.random() < float_fraction
+        if not chain or rng.random() < 0.25:
+            dest = b.load(
+                fresh("v"),
+                fresh("addr"),
+                region=fresh("reg"),
+                rtype=FLOAT if is_float else INT,
+            )
+        else:
+            a = chain[-1]
+            # Possibly reuse a value from another strand as second operand.
+            other_sources = [s[-1] for s in strands if s and s is not chain]
+            second = (
+                rng.choice(other_sources)
+                if other_sources and rng.random() < 0.4
+                else (chain[rng.randrange(len(chain))] if rng.random() < 0.5 else "invariant")
+            )
+            opcode = rng.choice(
+                ["fadd", "fmul", "fsub"] if is_float else ["add", "mul", "sub"]
+            )
+            dest = b._binary(opcode, fresh("v"), a, second)
+        chain.append(dest)
+        emitted += 1
+        if len(chain) > 3 and rng.random() < 0.3:
+            b.store(chain[-1], fresh("out"), region=fresh("outreg"))
+            strands[strand] = []
+            emitted += 1
+    for chain in strands:
+        if chain:
+            b.store(chain[-1], fresh("out"), region=fresh("outreg"))
+    return build_ddg(b)
+
+
+def random_suite(
+    count: int = 12,
+    seed: int = 2004,
+    min_ops: int = 8,
+    max_ops: int = 26,
+) -> List[DDG]:
+    """A deterministic collection of random DDGs for the optimality experiments."""
+
+    rng = random.Random(seed)
+    out: List[DDG] = []
+    for i in range(count):
+        family = i % 3
+        if family == 0:
+            out.append(
+                layered_random_ddg(
+                    nodes=rng.randint(min_ops, max_ops),
+                    layers=rng.randint(3, 5),
+                    edge_probability=rng.uniform(0.25, 0.5),
+                    seed=rng.randrange(1 << 30),
+                    name=f"rand-layered-{i}",
+                )
+            )
+        elif family == 1:
+            out.append(
+                random_expression_forest(
+                    trees=rng.randint(2, 4),
+                    depth=rng.randint(2, 3),
+                    seed=rng.randrange(1 << 30),
+                    name=f"rand-expr-{i}",
+                )
+            )
+        else:
+            out.append(
+                random_loop_body(
+                    operations=rng.randint(min_ops, max_ops),
+                    ilp_degree=rng.randint(2, 4),
+                    seed=rng.randrange(1 << 30),
+                    name=f"rand-loop-{i}",
+                )
+            )
+    return out

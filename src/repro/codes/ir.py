@@ -1,0 +1,249 @@
+"""A tiny three-address intermediate representation for writing loop bodies.
+
+The paper's experiments analyse "some loop bodies (excluding branches)"
+extracted from SpecFP, whetstone, livermore and linpack.  To stand in for
+the proprietary compiler front end, this module provides a small straight-
+line IR in which those loop bodies are written by hand
+(:mod:`repro.codes.kernels`), plus the dependence analysis
+(:mod:`repro.codes.dependence`) that converts a block into the DDG the
+register-saturation analysis consumes.
+
+Design choices (all documented in DESIGN.md):
+
+* destinations are in SSA form -- each instruction defines a fresh value --
+  which matches the paper's model of one definition per value and removes
+  anti/output dependences on registers;
+* operands that are never defined inside the block are *live-in* values
+  (loop-invariant registers, induction variables): they impose no dependence
+  and occupy registers accounted outside the analysed type;
+* memory operations carry an optional region tag used by a simple alias
+  analysis: accesses to different regions are independent, accesses to the
+  same (or an unknown) region are ordered conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.types import FLOAT, INT, RegisterType, canonical_type
+from ..errors import IRError
+
+__all__ = ["Instruction", "Block", "DEFAULT_LATENCIES"]
+
+#: Default latencies per opcode, loosely modelled on an in-order RISC core
+#: with a long memory pipeline (the "memory gap" the paper emphasises).
+DEFAULT_LATENCIES: Dict[str, int] = {
+    "load": 4,
+    "store": 1,
+    "add": 1,
+    "sub": 1,
+    "mul": 3,
+    "div": 12,
+    "shift": 1,
+    "and": 1,
+    "or": 1,
+    "cmp": 1,
+    "fadd": 3,
+    "fsub": 3,
+    "fmul": 4,
+    "fdiv": 18,
+    "fsqrt": 22,
+    "fmadd": 4,
+    "mov": 1,
+    "fmov": 1,
+}
+
+_FU_CLASSES: Dict[str, str] = {
+    "load": "mem",
+    "store": "mem",
+    "fadd": "fpu",
+    "fsub": "fpu",
+    "fmul": "fpu",
+    "fdiv": "fpu",
+    "fsqrt": "fpu",
+    "fmadd": "fpu",
+    "fmov": "fpu",
+}
+
+_FLOAT_OPCODES = {"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmadd", "fmov"}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A three-address instruction ``dest = opcode(srcs...)``.
+
+    ``dest`` may be ``None`` (stores, compares used for effect).  ``region``
+    tags the memory location touched by loads/stores for the alias analysis.
+    """
+
+    opcode: str
+    dest: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    rtype: Optional[RegisterType] = None
+    latency: Optional[int] = None
+    region: Optional[str] = None
+    fu_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rtype is not None:
+            object.__setattr__(self, "rtype", canonical_type(self.rtype))
+        object.__setattr__(self, "srcs", tuple(self.srcs))
+
+    @property
+    def effective_latency(self) -> int:
+        if self.latency is not None:
+            return self.latency
+        return DEFAULT_LATENCIES.get(self.opcode, 1)
+
+    @property
+    def effective_fu_class(self) -> str:
+        if self.fu_class is not None:
+            return self.fu_class
+        return _FU_CLASSES.get(self.opcode, "alu")
+
+    @property
+    def effective_rtype(self) -> Optional[RegisterType]:
+        if self.dest is None:
+            return None
+        if self.rtype is not None:
+            return self.rtype
+        return FLOAT if self.opcode in _FLOAT_OPCODES else INT
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in ("load", "store")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dest = f"{self.dest} = " if self.dest else ""
+        return f"{dest}{self.opcode} {', '.join(self.srcs)}"
+
+
+class Block:
+    """A straight-line basic block of :class:`Instruction` objects.
+
+    The fluent helpers (``load``, ``fmul``, ...) append an instruction and
+    return the destination name, so loop bodies read almost like the source
+    they model::
+
+        b = Block("daxpy")
+        x = b.load("x_i", region="x")
+        y = b.load("y_i", region="y")
+        ax = b.fmul("ax", "a", x)
+        b.store(b.fadd("new_y", ax, y), region="y")
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self._defined: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def append(self, instruction: Instruction) -> Optional[str]:
+        if instruction.dest is not None:
+            if instruction.dest in self._defined:
+                raise IRError(
+                    f"block {self.name!r}: {instruction.dest!r} defined twice "
+                    "(the IR is SSA: rename the second definition)"
+                )
+            self._defined[instruction.dest] = len(self.instructions)
+        self.instructions.append(instruction)
+        return instruction.dest
+
+    def emit(
+        self,
+        opcode: str,
+        dest: Optional[str] = None,
+        srcs: Sequence[str] = (),
+        rtype: Optional[RegisterType] = None,
+        latency: Optional[int] = None,
+        region: Optional[str] = None,
+        fu_class: Optional[str] = None,
+    ) -> Optional[str]:
+        return self.append(
+            Instruction(opcode, dest, tuple(srcs), rtype, latency, region, fu_class)
+        )
+
+    # Convenience wrappers ------------------------------------------------ #
+    def load(self, dest: str, address: str = "", region: Optional[str] = None,
+             rtype: RegisterType | str = FLOAT, latency: Optional[int] = None) -> str:
+        srcs = (address,) if address else ()
+        self.emit("load", dest, srcs, canonical_type(rtype), latency, region)
+        return dest
+
+    def iload(self, dest: str, address: str = "", region: Optional[str] = None,
+              latency: Optional[int] = None) -> str:
+        return self.load(dest, address, region, INT, latency)
+
+    def store(self, src: str, address: str = "", region: Optional[str] = None,
+              latency: Optional[int] = None) -> None:
+        srcs = (src, address) if address else (src,)
+        self.emit("store", None, srcs, None, latency, region)
+
+    def _binary(self, opcode: str, dest: str, a: str, b: str,
+                latency: Optional[int] = None) -> str:
+        self.emit(opcode, dest, (a, b), None, latency)
+        return dest
+
+    def add(self, dest: str, a: str, b: str) -> str:
+        return self._binary("add", dest, a, b)
+
+    def sub(self, dest: str, a: str, b: str) -> str:
+        return self._binary("sub", dest, a, b)
+
+    def mul(self, dest: str, a: str, b: str) -> str:
+        return self._binary("mul", dest, a, b)
+
+    def shift(self, dest: str, a: str, b: str) -> str:
+        return self._binary("shift", dest, a, b)
+
+    def fadd(self, dest: str, a: str, b: str) -> str:
+        return self._binary("fadd", dest, a, b)
+
+    def fsub(self, dest: str, a: str, b: str) -> str:
+        return self._binary("fsub", dest, a, b)
+
+    def fmul(self, dest: str, a: str, b: str) -> str:
+        return self._binary("fmul", dest, a, b)
+
+    def fdiv(self, dest: str, a: str, b: str) -> str:
+        return self._binary("fdiv", dest, a, b)
+
+    def fmadd(self, dest: str, a: str, b: str, c: str) -> str:
+        """Fused multiply-add ``dest = a * b + c``."""
+
+        self.emit("fmadd", dest, (a, b, c))
+        return dest
+
+    def fsqrt(self, dest: str, a: str) -> str:
+        self.emit("fsqrt", dest, (a,))
+        return dest
+
+    def mov(self, dest: str, src: str, rtype: RegisterType | str = INT) -> str:
+        opcode = "fmov" if canonical_type(rtype) == FLOAT else "mov"
+        self.emit(opcode, dest, (src,), canonical_type(rtype))
+        return dest
+
+    # ------------------------------------------------------------------ #
+    def defined_names(self) -> List[str]:
+        return list(self._defined.keys())
+
+    def live_in_names(self) -> List[str]:
+        """Operands read but never defined in the block (loop invariants, bases...)."""
+
+        defined = set(self._defined)
+        seen: List[str] = []
+        for instr in self.instructions:
+            for src in instr.srcs:
+                if src and src not in defined and src not in seen:
+                    seen.append(src)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Block({self.name!r}, {len(self.instructions)} instructions)"

@@ -1,0 +1,33 @@
+"""Hand-written loop-body kernels standing in for the paper's benchmark population."""
+
+from .dsp import complex_mac, fft_radix2_butterfly, fir_taps, horner_poly, iir_biquad
+from .figure2 import figure2_dag
+from .linpack import daxpy, daxpy_unrolled, ddot_unrolled, dgefa_update
+from .livermore import kernel1_hydro, kernel5_tridiag, kernel7_state, kernel12_first_diff
+from .specfp import applu_jacobi_block, mgrid_relaxation, swim_wave_update, tomcatv_residual
+from .whetstone import module1_simple, module2_array, module6_trig_poly, module8_calls_inlined
+
+__all__ = [
+    "figure2_dag",
+    "daxpy",
+    "daxpy_unrolled",
+    "ddot_unrolled",
+    "dgefa_update",
+    "kernel1_hydro",
+    "kernel5_tridiag",
+    "kernel7_state",
+    "kernel12_first_diff",
+    "module1_simple",
+    "module2_array",
+    "module6_trig_poly",
+    "module8_calls_inlined",
+    "tomcatv_residual",
+    "swim_wave_update",
+    "mgrid_relaxation",
+    "applu_jacobi_block",
+    "fir_taps",
+    "iir_biquad",
+    "fft_radix2_butterfly",
+    "complex_mac",
+    "horner_poly",
+]

@@ -1,0 +1,117 @@
+"""DSP-flavoured loop bodies (FIR, IIR, FFT butterflies, complex arithmetic).
+
+These are the archetypal VLIW workloads: wide, regular dataflow with many
+independent multiply-accumulate chains.  They stress the multi-register-type
+code paths (address arithmetic in integer registers, samples in float
+registers) and give the VLIW experiments realistic graphs.
+"""
+
+from __future__ import annotations
+
+from ...core.graph import DDG
+from ..dependence import build_ddg
+from ..ir import Block
+
+__all__ = ["fir_taps", "iir_biquad", "fft_radix2_butterfly", "complex_mac", "horner_poly"]
+
+
+def fir_taps(taps: int = 6) -> DDG:
+    """A *taps*-tap FIR filter body with integer address updates."""
+
+    b = Block(f"dsp-fir{taps}")
+    acc = None
+    addr = "base"
+    for k in range(taps):
+        addr = b.add(f"addr_{k}", addr, "stride")
+        x = b.load(f"x_{k}", addr, region=f"x{k}")
+        c = b.load(f"c_{k}", f"coef+{k}", region=f"c{k}")
+        prod = b.fmul(f"p_{k}", x, c)
+        acc = prod if acc is None else b.fadd(f"acc_{k}", acc, prod)
+    b.store(acc, "out", region="out")
+    return build_ddg(b)
+
+
+def iir_biquad() -> DDG:
+    """A direct-form-II biquad section (tight recurrence, low saturation)."""
+
+    b = Block("dsp-iir-biquad")
+    x = b.load("x", "in", region="in")
+    w1 = b.load("w1", "state+0", region="w1")
+    w2 = b.load("w2", "state+1", region="w2")
+    a1w1 = b.fmul("a1w1", "a1", w1)
+    a2w2 = b.fmul("a2w2", "a2", w2)
+    fb = b.fadd("fb", a1w1, a2w2)
+    w0 = b.fsub("w0", x, fb)
+    b1w1 = b.fmul("b1w1", "b1", w1)
+    b2w2 = b.fmul("b2w2", "b2", w2)
+    b0w0 = b.fmul("b0w0", "b0", w0)
+    ff = b.fadd("ff", b1w1, b2w2)
+    y = b.fadd("y", b0w0, ff)
+    b.store(y, "out", region="out")
+    b.store(w0, "state+0", region="w1")
+    b.store(w1, "state+1", region="w2")
+    return build_ddg(b)
+
+
+def fft_radix2_butterfly(pairs: int = 2) -> DDG:
+    """*pairs* independent radix-2 FFT butterflies (complex twiddle multiply)."""
+
+    b = Block(f"dsp-fft-bfly{pairs}")
+    for p in range(pairs):
+        ar = b.load(f"ar_{p}", f"a+{p}r", region=f"ar{p}")
+        ai = b.load(f"ai_{p}", f"a+{p}i", region=f"ai{p}")
+        br = b.load(f"br_{p}", f"b+{p}r", region=f"br{p}")
+        bi = b.load(f"bi_{p}", f"b+{p}i", region=f"bi{p}")
+        # twiddle multiply: t = w * b
+        t_r1 = b.fmul(f"tr1_{p}", "wr", br)
+        t_r2 = b.fmul(f"tr2_{p}", "wi", bi)
+        t_i1 = b.fmul(f"ti1_{p}", "wr", bi)
+        t_i2 = b.fmul(f"ti2_{p}", "wi", br)
+        tr = b.fsub(f"tr_{p}", t_r1, t_r2)
+        ti = b.fadd(f"ti_{p}", t_i1, t_i2)
+        # butterfly outputs
+        our = b.fadd(f"our_{p}", ar, tr)
+        oui = b.fadd(f"oui_{p}", ai, ti)
+        olr = b.fsub(f"olr_{p}", ar, tr)
+        oli = b.fsub(f"oli_{p}", ai, ti)
+        b.store(our, f"a+{p}r", region=f"ar{p}")
+        b.store(oui, f"a+{p}i", region=f"ai{p}")
+        b.store(olr, f"b+{p}r", region=f"br{p}")
+        b.store(oli, f"b+{p}i", region=f"bi{p}")
+    return build_ddg(b)
+
+
+def complex_mac(unroll: int = 3) -> DDG:
+    """Complex multiply-accumulate, unrolled: the core of every correlator."""
+
+    b = Block(f"dsp-cmac-u{unroll}")
+    acc_r, acc_i = "acc_r_in", "acc_i_in"
+    for k in range(unroll):
+        xr = b.load(f"xr_{k}", f"x+{k}r", region=f"xr{k}")
+        xi = b.load(f"xi_{k}", f"x+{k}i", region=f"xi{k}")
+        yr = b.load(f"yr_{k}", f"y+{k}r", region=f"yr{k}")
+        yi = b.load(f"yi_{k}", f"y+{k}i", region=f"yi{k}")
+        rr = b.fmul(f"rr_{k}", xr, yr)
+        ii = b.fmul(f"ii_{k}", xi, yi)
+        ri = b.fmul(f"ri_{k}", xr, yi)
+        ir = b.fmul(f"ir_{k}", xi, yr)
+        pr = b.fsub(f"pr_{k}", rr, ii)
+        pi = b.fadd(f"pi_{k}", ri, ir)
+        acc_r = b.fadd(f"accr_{k}", acc_r, pr)
+        acc_i = b.fadd(f"acci_{k}", acc_i, pi)
+    b.store(acc_r, "acc_r", region="accr")
+    b.store(acc_i, "acc_i", region="acci")
+    return build_ddg(b)
+
+
+def horner_poly(degree: int = 7) -> DDG:
+    """Horner evaluation of a degree-*degree* polynomial (a pure latency chain)."""
+
+    b = Block(f"dsp-horner{degree}")
+    x = b.load("x", "x_addr", region="x")
+    acc = b.load("c_n", f"coef+{degree}", region="cn")
+    for k in range(degree - 1, -1, -1):
+        c = b.load(f"c_{k}", f"coef+{k}", region=f"c{k}")
+        acc = b.fmadd(f"acc_{k}", acc, x, c)
+    b.store(acc, "y_addr", region="y")
+    return build_ddg(b)

@@ -1,0 +1,82 @@
+"""Linpack-style loop bodies.
+
+The paper's experiment population includes linpack; its hot loops are DAXPY
+and the inner elimination loop of ``dgefa``.  The bodies below are the
+classic formulations, unrolled a few times to obtain basic blocks in the
+size range the paper analyses (a dozen to a few dozen operations).
+"""
+
+from __future__ import annotations
+
+from ...core.graph import DDG
+from ..dependence import build_ddg
+from ..ir import Block
+
+__all__ = ["daxpy", "daxpy_unrolled", "ddot_unrolled", "dgefa_update"]
+
+
+def daxpy() -> DDG:
+    """One iteration of ``y[i] += a * x[i]`` (the LINPACK kernel)."""
+
+    b = Block("linpack-daxpy")
+    x = b.load("x_i", "x+i", region="x")
+    y = b.load("y_i", "y+i", region="y")
+    ax = b.fmul("ax", "a", x)
+    new_y = b.fadd("y_new", ax, y)
+    b.store(new_y, "y+i", region="y")
+    return build_ddg(b)
+
+
+def daxpy_unrolled(factor: int = 4) -> DDG:
+    """DAXPY unrolled *factor* times: independent iterations, high saturation."""
+
+    b = Block(f"linpack-daxpy-u{factor}")
+    for k in range(factor):
+        x = b.load(f"x_{k}", f"x+i+{k}", region=f"x{k}")
+        y = b.load(f"y_{k}", f"y+i+{k}", region=f"y{k}")
+        ax = b.fmul(f"ax_{k}", "a", x)
+        new_y = b.fadd(f"ynew_{k}", ax, y)
+        b.store(new_y, f"y+i+{k}", region=f"y{k}")
+    return build_ddg(b)
+
+
+def ddot_unrolled(factor: int = 4) -> DDG:
+    """Dot-product partial sums: ``s += x[i] * y[i]`` unrolled with a final reduce."""
+
+    b = Block(f"linpack-ddot-u{factor}")
+    partials = []
+    for k in range(factor):
+        x = b.load(f"x_{k}", f"x+i+{k}", region=f"x{k}")
+        y = b.load(f"y_{k}", f"y+i+{k}", region=f"y{k}")
+        partials.append(b.fmul(f"p_{k}", x, y))
+    # Reduction tree.
+    level = 0
+    while len(partials) > 1:
+        nxt = []
+        for j in range(0, len(partials) - 1, 2):
+            nxt.append(b.fadd(f"s{level}_{j}", partials[j], partials[j + 1]))
+        if len(partials) % 2:
+            nxt.append(partials[-1])
+        partials = nxt
+        level += 1
+    acc = b.fadd("acc_new", "acc", partials[0])
+    b.store(acc, "acc_addr", region="acc")
+    return build_ddg(b)
+
+
+def dgefa_update(columns: int = 3) -> DDG:
+    """The rank-1 update of Gaussian elimination: ``a[i][j] += t * a[k][j]``.
+
+    ``columns`` consecutive columns are processed per iteration, which is how
+    compilers typically unroll the ``dgefa`` inner loop.
+    """
+
+    b = Block(f"linpack-dgefa-c{columns}")
+    t = b.load("t", "a+k*lda+i", region="pivot")
+    for j in range(columns):
+        akj = b.load(f"akj_{j}", f"a+k*lda+{j}", region=f"rowk{j}")
+        aij = b.load(f"aij_{j}", f"a+i*lda+{j}", region=f"rowi{j}")
+        prod = b.fmul(f"prod_{j}", t, akj)
+        upd = b.fadd(f"upd_{j}", aij, prod)
+        b.store(upd, f"a+i*lda+{j}", region=f"rowi{j}")
+    return build_ddg(b)

@@ -1,0 +1,94 @@
+"""Livermore-loop bodies (the classic "Livermore Fortran kernels").
+
+Four representative kernels cover the dependence shapes that matter for
+register pressure: a pure streaming loop (K1), a linked recurrence (K5), a
+wide expression with many reused operands (K7) and a first-difference
+stencil (K12).
+"""
+
+from __future__ import annotations
+
+from ...core.graph import DDG
+from ..dependence import build_ddg
+from ..ir import Block
+
+__all__ = ["kernel1_hydro", "kernel5_tridiag", "kernel7_state", "kernel12_first_diff"]
+
+
+def kernel1_hydro() -> DDG:
+    """K1 hydro fragment: ``x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])``."""
+
+    b = Block("livermore-k1")
+    zk10 = b.load("z_k10", "z+k+10", region="z10")
+    zk11 = b.load("z_k11", "z+k+11", region="z11")
+    yk = b.load("y_k", "y+k", region="y")
+    rz = b.fmul("rz", "r", zk10)
+    tz = b.fmul("tz", "t", zk11)
+    inner = b.fadd("inner", rz, tz)
+    prod = b.fmul("prod", yk, inner)
+    xk = b.fadd("x_k", "q", prod)
+    b.store(xk, "x+k", region="x")
+    return build_ddg(b)
+
+
+def kernel5_tridiag() -> DDG:
+    """K5 tri-diagonal elimination: ``x[i] = z[i] * (y[i] - x[i-1])`` (two steps).
+
+    Two consecutive iterations are emitted so the loop-carried dependence
+    appears inside the block (``x_i`` feeds the next subtraction), giving a
+    long dependence chain with low saturation -- the opposite extreme of the
+    unrolled streaming kernels.
+    """
+
+    b = Block("livermore-k5")
+    x_prev = b.load("x_prev", "x+i-1", region="x0")
+    y0 = b.load("y_0", "y+i", region="y0")
+    z0 = b.load("z_0", "z+i", region="z0")
+    d0 = b.fsub("d_0", y0, x_prev)
+    x0 = b.fmul("x_0", z0, d0)
+    b.store(x0, "x+i", region="x1")
+    y1 = b.load("y_1", "y+i+1", region="y1")
+    z1 = b.load("z_1", "z+i+1", region="z1")
+    d1 = b.fsub("d_1", y1, x0)
+    x1 = b.fmul("x_1", z1, d1)
+    b.store(x1, "x+i+1", region="x2")
+    return build_ddg(b)
+
+
+def kernel7_state() -> DDG:
+    """K7 equation-of-state fragment: a wide expression reusing several loads."""
+
+    b = Block("livermore-k7")
+    u_k = b.load("u_k", "u+k", region="u0")
+    u_k1 = b.load("u_k1", "u+k+1", region="u1")
+    u_k2 = b.load("u_k2", "u+k+2", region="u2")
+    u_k3 = b.load("u_k3", "u+k+3", region="u3")
+    z_k = b.load("z_k", "z+k", region="z")
+    y_k = b.load("y_k", "y+k", region="y")
+    # x[k] = u[k] + r*(z[k] + r*y[k]) + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+    #        + t*(u[k+6] ...)) -- truncated to the first two t-terms.
+    ry = b.fmul("ry", "r", y_k)
+    zry = b.fadd("zry", z_k, ry)
+    rz = b.fmul("rzry", "r", zry)
+    first = b.fadd("first", u_k, rz)
+    ru1 = b.fmul("ru1", "r", u_k1)
+    u2ru1 = b.fadd("u2ru1", u_k2, ru1)
+    ru2 = b.fmul("ru2", "r", u2ru1)
+    u3ru2 = b.fadd("u3ru2", u_k3, ru2)
+    tterm = b.fmul("tterm", "t", u3ru2)
+    xk = b.fadd("x_k", first, tterm)
+    b.store(xk, "x+k", region="x")
+    return build_ddg(b)
+
+
+def kernel12_first_diff(unroll: int = 3) -> DDG:
+    """K12 first difference: ``x[k] = y[k+1] - y[k]``, unrolled with load reuse."""
+
+    b = Block(f"livermore-k12-u{unroll}")
+    prev = b.load("y_0", "y+k", region="y0")
+    for k in range(unroll):
+        nxt = b.load(f"y_{k + 1}", f"y+k+{k + 1}", region=f"y{k + 1}")
+        diff = b.fsub(f"x_{k}", nxt, prev)
+        b.store(diff, f"x+k+{k}", region=f"x{k}")
+        prev = nxt
+    return build_ddg(b)

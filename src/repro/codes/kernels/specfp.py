@@ -1,0 +1,120 @@
+"""SpecFP-style loop bodies.
+
+The SpecFP95/2000 programs the paper drew from are dominated by stencil
+updates (tomcatv, swim, mgrid) and dense linear algebra (applu).  The bodies
+below reproduce those dependence shapes: many loads feeding a wide
+expression tree, with a couple of stores at the end -- large saturation,
+plenty of schedule freedom, exactly the graphs for which RS analysis is
+interesting.
+"""
+
+from __future__ import annotations
+
+from ...core.graph import DDG
+from ..dependence import build_ddg
+from ..ir import Block
+
+__all__ = ["tomcatv_residual", "swim_wave_update", "mgrid_relaxation", "applu_jacobi_block"]
+
+
+def tomcatv_residual() -> DDG:
+    """The residual computation of tomcatv's mesh generation loop."""
+
+    b = Block("specfp-tomcatv")
+    x_im = b.load("x_im", "x+i-1+j", region="xim")
+    x_ip = b.load("x_ip", "x+i+1+j", region="xip")
+    x_jm = b.load("x_jm", "x+i+j-1", region="xjm")
+    x_jp = b.load("x_jp", "x+i+j+1", region="xjp")
+    y_im = b.load("y_im", "y+i-1+j", region="yim")
+    y_ip = b.load("y_ip", "y+i+1+j", region="yip")
+    xx = b.fsub("xx", x_ip, x_im)
+    yx = b.fsub("yx", y_ip, y_im)
+    xy = b.fsub("xy", x_jp, x_jm)
+    a = b.fmul("a", xx, xx)
+    bq = b.fmul("bq", yx, yx)
+    aa = b.fadd("aa", a, bq)
+    cpx = b.fmul("cpx", xy, xy)
+    cc = b.fadd("cc", cpx, aa)
+    pxx = b.fmul("pxx", aa, xx)
+    qxx = b.fmul("qxx", cc, xy)
+    rx = b.fsub("rx", pxx, qxx)
+    ry = b.fmul("ry", cc, yx)
+    b.store(rx, "rx+i+j", region="rx")
+    b.store(ry, "ry+i+j", region="ry")
+    return build_ddg(b)
+
+
+def swim_wave_update() -> DDG:
+    """The shallow-water (swim) velocity update: three coupled stencil updates."""
+
+    b = Block("specfp-swim")
+    cu_ip = b.load("cu_ip", "cu+i+1+j", region="cuip")
+    cu_i = b.load("cu_i", "cu+i+j", region="cui")
+    cv_jp = b.load("cv_jp", "cv+i+j+1", region="cvjp")
+    cv_j = b.load("cv_j", "cv+i+j", region="cvj")
+    z_ip = b.load("z_ip", "z+i+1+j+1", region="zip")
+    z_i = b.load("z_i", "z+i+j+1", region="zi")
+    h_ip = b.load("h_ip", "h+i+1+j", region="hip")
+    h_i = b.load("h_i", "h+i+j", region="hi")
+    du = b.fsub("du", cu_ip, cu_i)
+    dv = b.fsub("dv", cv_jp, cv_j)
+    dsum = b.fadd("dsum", du, dv)
+    unew = b.fmul("unew", "tdts8", dsum)
+    zsum = b.fadd("zsum", z_ip, z_i)
+    zt = b.fmul("zt", zsum, "tdtsdx")
+    hdiff = b.fsub("hdiff", h_ip, h_i)
+    ht = b.fmul("ht", hdiff, "tdtsdy")
+    vnew = b.fadd("vnew", zt, ht)
+    pnew = b.fsub("pnew", unew, vnew)
+    b.store(unew, "unew+i+j", region="unew")
+    b.store(vnew, "vnew+i+j", region="vnew")
+    b.store(pnew, "pnew+i+j", region="pnew")
+    return build_ddg(b)
+
+
+def mgrid_relaxation() -> DDG:
+    """The 27-point relaxation of mgrid, reduced to the 7 face neighbours."""
+
+    b = Block("specfp-mgrid")
+    c = b.load("u_c", "u+i+j+k", region="c")
+    xm = b.load("u_xm", "u+i-1", region="xm")
+    xp = b.load("u_xp", "u+i+1", region="xp")
+    ym = b.load("u_ym", "u+j-1", region="ym")
+    yp = b.load("u_yp", "u+j+1", region="yp")
+    zm = b.load("u_zm", "u+k-1", region="zm")
+    zp = b.load("u_zp", "u+k+1", region="zp")
+    r = b.load("r_c", "r+i+j+k", region="r")
+    sx = b.fadd("sx", xm, xp)
+    sy = b.fadd("sy", ym, yp)
+    sz = b.fadd("sz", zm, zp)
+    sxy = b.fadd("sxy", sx, sy)
+    sxyz = b.fadd("sxyz", sxy, sz)
+    a1 = b.fmul("a1", "c1", sxyz)
+    a0 = b.fmul("a0", "c0", c)
+    lap = b.fadd("lap", a0, a1)
+    res = b.fsub("res", r, lap)
+    upd = b.fmadd("upd", "omega", res, c)
+    b.store(upd, "u+i+j+k", region="c")
+    return build_ddg(b)
+
+
+def applu_jacobi_block() -> DDG:
+    """A 3x3 block Jacobi solve step from applu (dense small matrix times vector)."""
+
+    b = Block("specfp-applu")
+    v0 = b.load("v0", "v+0", region="v0")
+    v1 = b.load("v1", "v+1", region="v1")
+    v2 = b.load("v2", "v+2", region="v2")
+    outs = []
+    for row in range(3):
+        a0 = b.load(f"a{row}0", f"a+{row}*3+0", region=f"a{row}0")
+        a1 = b.load(f"a{row}1", f"a+{row}*3+1", region=f"a{row}1")
+        a2 = b.load(f"a{row}2", f"a+{row}*3+2", region=f"a{row}2")
+        p0 = b.fmul(f"p{row}0", a0, v0)
+        p1 = b.fmadd(f"p{row}1", a1, v1, p0)
+        p2 = b.fmadd(f"p{row}2", a2, v2, p1)
+        rhs = b.load(f"rhs{row}", f"rhs+{row}", region=f"rhs{row}")
+        out = b.fsub(f"out{row}", rhs, p2)
+        outs.append(out)
+        b.store(out, f"x+{row}", region=f"x{row}")
+    return build_ddg(b)

@@ -1,0 +1,113 @@
+"""Whetstone-style loop bodies.
+
+Whetstone's computational modules are short floating-point expressions over
+a handful of scalars; they produce small DAGs with long division/square-root
+latencies -- a register-pressure profile very different from the streaming
+kernels, which is why the paper includes them in its population.
+"""
+
+from __future__ import annotations
+
+from ...core.graph import DDG
+from ..dependence import build_ddg
+from ..ir import Block
+
+__all__ = ["module1_simple", "module2_array", "module6_trig_poly", "module8_calls_inlined"]
+
+
+def module1_simple() -> DDG:
+    """Module 1: the four-element recurrence over simple identifiers."""
+
+    b = Block("whetstone-m1")
+    # x1 = (x1 + x2 + x3 - x4) * t ; x2 = (x1 + x2 - x3 + x4) * t ; ...
+    s1 = b.fadd("s1", "x1", "x2")
+    s2 = b.fadd("s2", s1, "x3")
+    s3 = b.fsub("s3", s2, "x4")
+    nx1 = b.fmul("nx1", s3, "t")
+    s4 = b.fadd("s4", nx1, "x2")
+    s5 = b.fsub("s5", s4, "x3")
+    s6 = b.fadd("s6", s5, "x4")
+    nx2 = b.fmul("nx2", s6, "t")
+    s7 = b.fsub("s7", nx1, nx2)
+    s8 = b.fadd("s8", s7, "x3")
+    s9 = b.fadd("s9", s8, "x4")
+    nx3 = b.fmul("nx3", s9, "t")
+    s10 = b.fadd("s10", nx1, nx2)
+    s11 = b.fsub("s11", s10, nx3)
+    s12 = b.fadd("s12", s11, "x4")
+    nx4 = b.fmul("nx4", s12, "t")
+    b.store(nx1, "x1_addr", region="x1")
+    b.store(nx2, "x2_addr", region="x2")
+    b.store(nx3, "x3_addr", region="x3")
+    b.store(nx4, "x4_addr", region="x4")
+    return build_ddg(b)
+
+
+def module2_array() -> DDG:
+    """Module 2: the same recurrence over array elements (adds loads/stores)."""
+
+    b = Block("whetstone-m2")
+    e1 = b.load("e1", "e+0", region="e1")
+    e2 = b.load("e2", "e+1", region="e2")
+    e3 = b.load("e3", "e+2", region="e3")
+    e4 = b.load("e4", "e+3", region="e4")
+    s1 = b.fadd("s1", e1, e2)
+    s2 = b.fadd("s2", s1, e3)
+    s3 = b.fsub("s3", s2, e4)
+    n1 = b.fmul("n1", s3, "t")
+    s4 = b.fadd("s4", n1, e2)
+    s5 = b.fsub("s5", s4, e3)
+    s6 = b.fadd("s6", s5, e4)
+    n2 = b.fmul("n2", s6, "t")
+    s7 = b.fsub("s7", n1, n2)
+    s8 = b.fadd("s8", s7, e3)
+    s9 = b.fadd("s9", s8, e4)
+    n3 = b.fmul("n3", s9, "t")
+    b.store(n1, "e+0", region="e1")
+    b.store(n2, "e+1", region="e2")
+    b.store(n3, "e+2", region="e3")
+    return build_ddg(b)
+
+
+def module6_trig_poly() -> DDG:
+    """Module 6-style polynomial approximation (trig replaced by its Taylor body)."""
+
+    b = Block("whetstone-m6")
+    x = b.load("x", "x_addr", region="x")
+    x2 = b.fmul("x2", x, x)
+    x3 = b.fmul("x3", x2, x)
+    x5 = b.fmul("x5", x3, x2)
+    t1 = b.fmul("t1", x3, "c3")
+    t2 = b.fmul("t2", x5, "c5")
+    s1 = b.fsub("s1", x, t1)
+    sinx = b.fadd("sinx", s1, t2)
+    c1 = b.fmul("c1t", x2, "c2")
+    c2 = b.fmul("c2t", x2, x2)
+    c3 = b.fmul("c3t", c2, "c4")
+    s2 = b.fsub("s2", "one", c1)
+    cosx = b.fadd("cosx", s2, c3)
+    num = b.fmul("num", sinx, sinx)
+    den = b.fadd("den", cosx, "one")
+    res = b.fdiv("res", num, den)
+    b.store(res, "y_addr", region="y")
+    return build_ddg(b)
+
+
+def module8_calls_inlined() -> DDG:
+    """Module 8 with the tiny procedure inlined three times (long div chains)."""
+
+    b = Block("whetstone-m8")
+    x = b.load("x", "x_addr", region="x")
+    y = b.load("y", "y_addr", region="y")
+    # p3(x, y, z):  x1 = t*(x+y); y1 = t*(x1+y); z = (x1+y1)/t2  -- inlined 3x
+    prev_z = None
+    for k in range(3):
+        xin = x if prev_z is None else prev_z
+        s1 = b.fadd(f"s1_{k}", xin, y)
+        x1 = b.fmul(f"x1_{k}", "t", s1)
+        s2 = b.fadd(f"s2_{k}", x1, y)
+        y1 = b.fmul(f"y1_{k}", "t", s2)
+        s3 = b.fadd(f"s3_{k}", x1, y1)
+        prev_z = b.fdiv(f"z_{k}", s3, "t2")
+    b.store(prev_z, "z_addr", region="z")
+    return build_ddg(b)

@@ -1,0 +1,103 @@
+"""The named benchmark suite used by the experiments and the benchmarks.
+
+Mirrors the paper's experimental population ("loop bodies extracted from
+SpecFP, whetstone, livermore and linpack") with the hand-written kernels of
+:mod:`repro.codes.kernels`, optionally extended with seeded random DDGs for
+statistical weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.graph import DDG
+from ..core.types import FLOAT, INT, RegisterType
+from . import kernels
+from .generator import random_suite
+
+__all__ = ["SuiteEntry", "benchmark_suite", "kernel_suite", "suite_by_name"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """A named DDG with its provenance."""
+
+    name: str
+    category: str
+    ddg: DDG
+    description: str = ""
+
+    @property
+    def size(self) -> int:
+        return self.ddg.n
+
+    def register_types(self) -> List[RegisterType]:
+        return self.ddg.register_types()
+
+
+_KERNEL_FACTORIES: Sequence[tuple[str, str, Callable[[], DDG], str]] = (
+    ("figure2", "paper", kernels.figure2_dag, "Figure 2 running example"),
+    ("linpack-daxpy", "linpack", kernels.daxpy, "y[i] += a*x[i]"),
+    ("linpack-daxpy-u4", "linpack", kernels.daxpy_unrolled, "DAXPY unrolled 4x"),
+    ("linpack-ddot-u4", "linpack", kernels.ddot_unrolled, "dot product, reduction tree"),
+    ("linpack-dgefa", "linpack", kernels.dgefa_update, "Gaussian elimination update"),
+    ("livermore-k1", "livermore", kernels.kernel1_hydro, "hydro fragment"),
+    ("livermore-k5", "livermore", kernels.kernel5_tridiag, "tri-diagonal elimination"),
+    ("livermore-k7", "livermore", kernels.kernel7_state, "equation of state"),
+    ("livermore-k12", "livermore", kernels.kernel12_first_diff, "first difference"),
+    ("whetstone-m1", "whetstone", kernels.module1_simple, "module 1, simple identifiers"),
+    ("whetstone-m2", "whetstone", kernels.module2_array, "module 2, array elements"),
+    ("whetstone-m6", "whetstone", kernels.module6_trig_poly, "module 6, polynomial approx"),
+    ("whetstone-m8", "whetstone", kernels.module8_calls_inlined, "module 8, inlined calls"),
+    ("specfp-tomcatv", "specfp", kernels.tomcatv_residual, "mesh residual"),
+    ("specfp-swim", "specfp", kernels.swim_wave_update, "shallow water update"),
+    ("specfp-mgrid", "specfp", kernels.mgrid_relaxation, "multigrid relaxation"),
+    ("specfp-applu", "specfp", kernels.applu_jacobi_block, "block Jacobi solve"),
+    ("dsp-fir6", "dsp", kernels.fir_taps, "6-tap FIR"),
+    ("dsp-iir-biquad", "dsp", kernels.iir_biquad, "direct form II biquad"),
+    ("dsp-fft-bfly2", "dsp", kernels.fft_radix2_butterfly, "2 radix-2 butterflies"),
+    ("dsp-cmac-u3", "dsp", kernels.complex_mac, "complex MAC unrolled 3x"),
+    ("dsp-horner7", "dsp", kernels.horner_poly, "Horner polynomial, degree 7"),
+)
+
+
+def kernel_suite() -> List[SuiteEntry]:
+    """The hand-written kernels only (deterministic, no random DDGs)."""
+
+    return [
+        SuiteEntry(name, category, factory(), description)
+        for name, category, factory, description in _KERNEL_FACTORIES
+    ]
+
+
+def benchmark_suite(
+    include_random: bool = True,
+    random_count: int = 12,
+    seed: int = 2004,
+    max_size: Optional[int] = None,
+) -> List[SuiteEntry]:
+    """The full experiment population: kernels plus seeded random DDGs.
+
+    ``max_size`` filters out graphs with more operations than the limit,
+    which keeps the exact (intLP) experiments tractable on small machines.
+    """
+
+    entries = kernel_suite()
+    if include_random:
+        for ddg in random_suite(count=random_count, seed=seed):
+            entries.append(
+                SuiteEntry(ddg.name, "random", ddg, "seeded random DDG")
+            )
+    if max_size is not None:
+        entries = [e for e in entries if e.size <= max_size]
+    return entries
+
+
+def suite_by_name(name: str) -> SuiteEntry:
+    """Look up a single suite entry by name (kernels and default random set)."""
+
+    for entry in benchmark_suite():
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown benchmark {name!r}")

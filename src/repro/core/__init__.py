@@ -1,0 +1,79 @@
+"""Core DDG / processor model of the paper (Section 2)."""
+
+from .builder import DDGBuilder, chain_ddg, fork_join_ddg, independent_chains_ddg
+from .graph import DDG, Edge
+from .lifetime import (
+    LifetimeInterval,
+    interference_graph,
+    intervals_interfere,
+    killing_date,
+    max_simultaneously_alive,
+    register_need,
+    register_need_all_types,
+    simultaneously_alive_at,
+    value_lifetimes,
+)
+from .machine import (
+    ArchitectureFamily,
+    FunctionalUnitSpec,
+    ProcessorModel,
+    epic,
+    generic_machine,
+    retarget,
+    superscalar,
+    vliw,
+)
+from .operation import Operation
+from .schedule import (
+    Schedule,
+    alap_schedule,
+    asap_schedule,
+    enumerate_schedules,
+    list_schedule_priority,
+    sequential_schedule,
+)
+from .types import BOTTOM, BRANCH, FLOAT, INT, DependenceKind, RegisterType, Value, canonical_type
+from .validation import check_ddg, validate_ddg
+
+__all__ = [
+    "DDG",
+    "Edge",
+    "Operation",
+    "DDGBuilder",
+    "chain_ddg",
+    "fork_join_ddg",
+    "independent_chains_ddg",
+    "LifetimeInterval",
+    "interference_graph",
+    "intervals_interfere",
+    "killing_date",
+    "max_simultaneously_alive",
+    "register_need",
+    "register_need_all_types",
+    "simultaneously_alive_at",
+    "value_lifetimes",
+    "ArchitectureFamily",
+    "FunctionalUnitSpec",
+    "ProcessorModel",
+    "epic",
+    "generic_machine",
+    "retarget",
+    "superscalar",
+    "vliw",
+    "Schedule",
+    "alap_schedule",
+    "asap_schedule",
+    "enumerate_schedules",
+    "list_schedule_priority",
+    "sequential_schedule",
+    "BOTTOM",
+    "BRANCH",
+    "FLOAT",
+    "INT",
+    "DependenceKind",
+    "RegisterType",
+    "Value",
+    "canonical_type",
+    "check_ddg",
+    "validate_ddg",
+]

@@ -1,0 +1,195 @@
+"""A small fluent builder for data dependence graphs.
+
+Building DDGs by hand with :class:`~repro.core.graph.DDG` is verbose (add
+every operation, then every edge).  :class:`DDGBuilder` provides the compact
+spelling used by the kernel library, the examples and the tests::
+
+    g = (DDGBuilder("example")
+         .value("a", "int", latency=2)
+         .value("b", "int", latency=2)
+         .op("store", latency=1, fu_class="mem")
+         .flow("a", "store")
+         .flow("b", "store")
+         .serial("a", "b", latency=0)
+         .build())
+
+Values default to a single definition of the given register type; ``flow``
+edges default to the producer's latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from .graph import DDG
+from .operation import Operation
+from .types import RegisterType, canonical_type
+
+__all__ = ["DDGBuilder", "chain_ddg", "fork_join_ddg", "independent_chains_ddg"]
+
+
+class DDGBuilder:
+    """Fluent construction helper for :class:`~repro.core.graph.DDG`."""
+
+    def __init__(self, name: str = "ddg") -> None:
+        self._ddg = DDG(name)
+        self._default_type: Optional[RegisterType] = None
+
+    # ------------------------------------------------------------------ #
+    def default_type(self, rtype: RegisterType | str) -> "DDGBuilder":
+        """Set the register type used by :meth:`value` calls that omit one."""
+
+        self._default_type = canonical_type(rtype)
+        return self
+
+    def value(
+        self,
+        name: str,
+        rtype: RegisterType | str | None = None,
+        latency: int = 1,
+        opcode: str = "op",
+        fu_class: str = "alu",
+        delta_r: int = 0,
+        delta_w: int = 0,
+    ) -> "DDGBuilder":
+        """Add an operation producing one value of the given register type."""
+
+        if rtype is None:
+            if self._default_type is None:
+                raise GraphError(
+                    "value() without a register type requires default_type() first"
+                )
+            rtype = self._default_type
+        self._ddg.add_operation(
+            Operation(
+                name,
+                defs=frozenset({canonical_type(rtype)}),
+                latency=latency,
+                opcode=opcode,
+                fu_class=fu_class,
+                delta_r=delta_r,
+                delta_w=delta_w,
+            )
+        )
+        return self
+
+    def op(
+        self,
+        name: str,
+        latency: int = 1,
+        opcode: str = "op",
+        fu_class: str = "alu",
+        defs: Iterable[RegisterType | str] = (),
+        delta_r: int = 0,
+        delta_w: int = 0,
+    ) -> "DDGBuilder":
+        """Add an operation (possibly producing no register value)."""
+
+        self._ddg.add_operation(
+            Operation(
+                name,
+                defs=frozenset(canonical_type(t) for t in defs),
+                latency=latency,
+                opcode=opcode,
+                fu_class=fu_class,
+                delta_r=delta_r,
+                delta_w=delta_w,
+            )
+        )
+        return self
+
+    def flow(
+        self,
+        src: str,
+        dst: str,
+        rtype: RegisterType | str | None = None,
+        latency: Optional[int] = None,
+    ) -> "DDGBuilder":
+        """Add a flow dependence; the type defaults to the producer's unique type."""
+
+        if rtype is None:
+            defs = self._ddg.operation(src).defs
+            if len(defs) != 1:
+                raise GraphError(
+                    f"flow({src!r}, {dst!r}) needs an explicit register type: "
+                    f"the producer defines {len(defs)} values"
+                )
+            rtype = next(iter(defs))
+        self._ddg.add_flow_edge(src, dst, rtype, latency)
+        return self
+
+    def flows(self, pairs: Iterable[Tuple[str, str]]) -> "DDGBuilder":
+        for src, dst in pairs:
+            self.flow(src, dst)
+        return self
+
+    def serial(self, src: str, dst: str, latency: int = 0) -> "DDGBuilder":
+        self._ddg.add_serial_edge(src, dst, latency)
+        return self
+
+    def build(self, with_bottom: bool = False) -> DDG:
+        """Return the constructed DDG, optionally normalised with the bottom node."""
+
+        return self._ddg.with_bottom() if with_bottom else self._ddg
+
+
+# --------------------------------------------------------------------------- #
+# Parametric shapes used by tests and random suites
+# --------------------------------------------------------------------------- #
+def chain_ddg(
+    length: int,
+    rtype: RegisterType | str = "int",
+    latency: int = 1,
+    name: str = "chain",
+) -> DDG:
+    """A single dependence chain ``v0 -> v1 -> ... -> v_{length-1}``."""
+
+    b = DDGBuilder(name).default_type(rtype)
+    for i in range(length):
+        b.value(f"v{i}", latency=latency)
+    for i in range(length - 1):
+        b.flow(f"v{i}", f"v{i + 1}")
+    return b.build()
+
+
+def independent_chains_ddg(
+    chains: int,
+    length: int,
+    rtype: RegisterType | str = "int",
+    latency: int = 1,
+    name: str = "chains",
+) -> DDG:
+    """Several independent chains; its register saturation is ``chains * 1`` per stage pattern."""
+
+    b = DDGBuilder(name).default_type(rtype)
+    for c in range(chains):
+        for i in range(length):
+            b.value(f"c{c}_v{i}", latency=latency)
+        for i in range(length - 1):
+            b.flow(f"c{c}_v{i}", f"c{c}_v{i + 1}")
+    return b.build()
+
+
+def fork_join_ddg(
+    width: int,
+    rtype: RegisterType | str = "int",
+    latency: int = 1,
+    name: str = "fork-join",
+) -> DDG:
+    """A producer feeding *width* parallel consumers joined by a final operation.
+
+    Its register saturation for *width* independent intermediate values is
+    exactly ``width`` (plus the producer value while the intermediates are
+    being computed), a convenient analytical check.
+    """
+
+    b = DDGBuilder(name).default_type(rtype)
+    b.value("src", latency=latency)
+    for i in range(width):
+        b.value(f"mid{i}", latency=latency)
+        b.flow("src", f"mid{i}")
+    b.op("join", latency=latency)
+    for i in range(width):
+        b.flow(f"mid{i}", "join")
+    return b.build()

@@ -1,0 +1,430 @@
+"""The data dependence graph (DDG) of the paper's Section 2.
+
+A DDG ``G = (V, E, delta)`` records the data dependences between the
+operations of a basic block together with any other serial constraint.  Arcs
+are either *flow* arcs -- they carry a value of some register type ``t`` and
+belong to ``E_{R,t}`` -- or *serial* arcs that only constrain the schedule.
+Each arc ``e`` has a latency ``delta(e)`` in clock cycles; a schedule
+``sigma`` is valid iff ``sigma(v) - sigma(u) >= delta(e)`` for every arc
+``e = (u, v)``.
+
+The class :class:`DDG` is the central data structure of the library.  It is
+a light-weight adjacency structure (not a :mod:`networkx` graph) because the
+register-saturation algorithms need multi-arcs with typed attributes, cheap
+copies, and deterministic iteration order; a :meth:`DDG.to_networkx` bridge
+is provided for interoperability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CyclicGraphError, GraphError
+from .operation import Operation
+from .types import BOTTOM, DependenceKind, RegisterType, Value, canonical_type
+
+__all__ = ["Edge", "DDG"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A dependence arc ``e = (src, dst)`` with latency ``delta(e)``.
+
+    ``kind`` distinguishes flow arcs (through a register of type ``rtype``)
+    from purely serial arcs (``rtype is None``).
+    """
+
+    src: str
+    dst: str
+    latency: int
+    kind: DependenceKind = DependenceKind.FLOW
+    rtype: Optional[RegisterType] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is DependenceKind.FLOW and self.rtype is None:
+            raise GraphError(f"flow edge {self.src}->{self.dst} needs a register type")
+        if self.kind is DependenceKind.SERIAL and self.rtype is not None:
+            raise GraphError(
+                f"serial edge {self.src}->{self.dst} must not carry a register type"
+            )
+
+    @property
+    def is_flow(self) -> bool:
+        return self.kind is DependenceKind.FLOW
+
+    @property
+    def is_serial(self) -> bool:
+        return self.kind is DependenceKind.SERIAL
+
+    def with_latency(self, latency: int) -> "Edge":
+        return replace(self, latency=latency)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f"flow[{self.rtype}]" if self.is_flow else "serial"
+        return f"{self.src} -({self.latency},{tag})-> {self.dst}"
+
+
+class DDG:
+    """A directed acyclic data dependence graph.
+
+    The graph stores :class:`~repro.core.operation.Operation` nodes keyed by
+    name and :class:`Edge` arcs.  Parallel arcs between the same pair of
+    nodes are allowed (e.g. a flow arc of type ``float`` plus a serial arc);
+    exact duplicates are collapsed keeping the largest latency, which is the
+    only one that matters for scheduling.
+
+    The class deliberately exposes a small, explicit API -- everything the
+    algorithms of the paper need and nothing more.
+    """
+
+    def __init__(self, name: str = "ddg") -> None:
+        self.name = name
+        self._ops: Dict[str, Operation] = {}
+        self._succ: Dict[str, Dict[str, List[Edge]]] = {}
+        self._pred: Dict[str, Dict[str, List[Edge]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_operation(self, op: Operation | str, **kwargs) -> Operation:
+        """Add an operation to the graph and return it.
+
+        ``op`` may be an :class:`Operation` instance or a bare name, in which
+        case the remaining keyword arguments are forwarded to the
+        :class:`Operation` constructor.
+        """
+
+        if isinstance(op, str):
+            op = Operation(name=op, **kwargs)
+        elif kwargs:
+            raise GraphError("keyword arguments are only accepted with a bare name")
+        if op.name in self._ops:
+            raise GraphError(f"duplicate operation name {op.name!r}")
+        self._ops[op.name] = op
+        self._succ[op.name] = {}
+        self._pred[op.name] = {}
+        return op
+
+    def _check_node(self, name: str) -> None:
+        if name not in self._ops:
+            raise GraphError(f"unknown operation {name!r} in DDG {self.name!r}")
+
+    def _insert_edge(self, edge: Edge) -> Edge:
+        self._check_node(edge.src)
+        self._check_node(edge.dst)
+        if edge.src == edge.dst:
+            raise GraphError(f"self loop on {edge.src!r} is not allowed in a DDG")
+        if edge.latency < 0:
+            # Negative latencies appear only on the serialization arcs that
+            # RS reduction may introduce for VLIW/EPIC targets; they are
+            # accepted on serial arcs only.
+            if edge.is_flow:
+                raise GraphError("flow edges must have a non-negative latency")
+        bucket = self._succ[edge.src].setdefault(edge.dst, [])
+        for i, existing in enumerate(bucket):
+            if existing.kind is edge.kind and existing.rtype == edge.rtype:
+                # Keep the most constraining (largest latency) duplicate.
+                if edge.latency > existing.latency:
+                    bucket[i] = edge
+                    self._pred[edge.dst][edge.src][i] = edge
+                return bucket[i]
+        bucket.append(edge)
+        self._pred[edge.dst].setdefault(edge.src, []).append(edge)
+        return edge
+
+    def add_flow_edge(
+        self,
+        src: str,
+        dst: str,
+        rtype: RegisterType | str,
+        latency: Optional[int] = None,
+    ) -> Edge:
+        """Add a flow dependence ``src -> dst`` through a register of type *rtype*.
+
+        When *latency* is omitted the latency of the producing operation is
+        used, which matches the usual construction of DDGs from code.
+        """
+
+        rtype = canonical_type(rtype)
+        self._check_node(src)
+        if not self._ops[src].defines(rtype):
+            raise GraphError(
+                f"operation {src!r} does not define a value of type {rtype.name!r}"
+            )
+        if latency is None:
+            latency = self._ops[src].latency
+        return self._insert_edge(
+            Edge(src, dst, latency, DependenceKind.FLOW, rtype)
+        )
+
+    def add_serial_edge(self, src: str, dst: str, latency: int = 0) -> Edge:
+        """Add a serial (ordering only) arc ``src -> dst``."""
+
+        return self._insert_edge(Edge(src, dst, latency, DependenceKind.SERIAL, None))
+
+    def add_edge(self, edge: Edge) -> Edge:
+        """Add a pre-built :class:`Edge` (used by graph transformations)."""
+
+        return self._insert_edge(edge)
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove an arc previously returned by an ``add_*_edge`` call."""
+
+        try:
+            self._succ[edge.src][edge.dst].remove(edge)
+            self._pred[edge.dst][edge.src].remove(edge)
+        except (KeyError, ValueError) as exc:  # pragma: no cover - defensive
+            raise GraphError(f"edge {edge} is not part of the graph") from exc
+        if not self._succ[edge.src][edge.dst]:
+            del self._succ[edge.src][edge.dst]
+            del self._pred[edge.dst][edge.src]
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def n(self) -> int:
+        """Number of operations (the paper's ``n``)."""
+
+        return len(self._ops)
+
+    @property
+    def m(self) -> int:
+        """Number of arcs (the paper's ``m``)."""
+
+        return sum(len(b) for succ in self._succ.values() for b in succ.values())
+
+    def operation(self, name: str) -> Operation:
+        self._check_node(name)
+        return self._ops[name]
+
+    def operations(self) -> Iterator[Operation]:
+        return iter(self._ops.values())
+
+    def nodes(self) -> List[str]:
+        return list(self._ops.keys())
+
+    def edges(self) -> Iterator[Edge]:
+        for succ in self._succ.values():
+            for bucket in succ.values():
+                yield from bucket
+
+    def edges_between(self, src: str, dst: str) -> Sequence[Edge]:
+        return tuple(self._succ.get(src, {}).get(dst, ()))
+
+    def successors(self, name: str) -> List[str]:
+        self._check_node(name)
+        return list(self._succ[name].keys())
+
+    def predecessors(self, name: str) -> List[str]:
+        self._check_node(name)
+        return list(self._pred[name].keys())
+
+    def out_edges(self, name: str) -> Iterator[Edge]:
+        self._check_node(name)
+        for bucket in self._succ[name].values():
+            yield from bucket
+
+    def in_edges(self, name: str) -> Iterator[Edge]:
+        self._check_node(name)
+        for bucket in self._pred[name].values():
+            yield from bucket
+
+    def in_degree(self, name: str) -> int:
+        return sum(len(b) for b in self._pred[name].values())
+
+    def out_degree(self, name: str) -> int:
+        return sum(len(b) for b in self._succ[name].values())
+
+    def sources(self) -> List[str]:
+        """Operations without predecessors."""
+
+        return [v for v in self._ops if not self._pred[v]]
+
+    def sinks(self) -> List[str]:
+        """Operations without successors."""
+
+        return [v for v in self._ops if not self._succ[v]]
+
+    # ------------------------------------------------------------------ #
+    # Register-model queries (paper Section 2)
+    # ------------------------------------------------------------------ #
+    def register_types(self) -> List[RegisterType]:
+        """All register types defined by at least one operation, sorted by name."""
+
+        types = {t for op in self._ops.values() for t in op.defs}
+        return sorted(types, key=lambda t: t.name)
+
+    def values(self, rtype: RegisterType | str) -> List[Value]:
+        """The set ``V_{R,t}`` of values of type *rtype* (excluding ``⊥``)."""
+
+        rtype = canonical_type(rtype)
+        return [
+            Value(op.name, rtype)
+            for op in self._ops.values()
+            if op.defines(rtype) and op.name != BOTTOM
+        ]
+
+    def flow_edges(self, rtype: RegisterType | str | None = None) -> Iterator[Edge]:
+        """Flow arcs, optionally restricted to one register type (``E_{R,t}``)."""
+
+        rtype = canonical_type(rtype) if rtype is not None else None
+        for edge in self.edges():
+            if edge.is_flow and (rtype is None or edge.rtype == rtype):
+                yield edge
+
+    def consumers(self, node: str, rtype: RegisterType | str) -> List[str]:
+        """``Cons(u^t)``: operations reading the value of type *rtype* defined by *node*."""
+
+        rtype = canonical_type(rtype)
+        self._check_node(node)
+        out: List[str] = []
+        for dst, bucket in self._succ[node].items():
+            if any(e.is_flow and e.rtype == rtype for e in bucket):
+                out.append(dst)
+        return out
+
+    def exit_values(self, rtype: RegisterType | str) -> List[Value]:
+        """Values of type *rtype* without any consumer in the DDG."""
+
+        rtype = canonical_type(rtype)
+        return [v for v in self.values(rtype) if not self.consumers(v.node, rtype)]
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> List[str]:
+        """A topological order of the operations (Kahn's algorithm).
+
+        Raises :class:`~repro.errors.CyclicGraphError` when the graph has a
+        cycle, which can only happen after external transformations added
+        serial arcs carelessly.
+        """
+
+        indeg = {v: 0 for v in self._ops}
+        for edge in self.edges():
+            indeg[edge.dst] += 1
+        ready = [v for v in self._ops if indeg[v] == 0]
+        order: List[str] = []
+        while ready:
+            v = ready.pop()
+            order.append(v)
+            for w in self._succ[v]:
+                indeg[w] -= len(self._succ[v][w])
+                if indeg[w] == 0:
+                    ready.append(w)
+        if len(order) != len(self._ops):
+            raise CyclicGraphError(
+                f"DDG {self.name!r} contains a dependence cycle"
+            )
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+        except CyclicGraphError:
+            return False
+        return True
+
+    @property
+    def has_bottom(self) -> bool:
+        return BOTTOM in self._ops
+
+    def with_bottom(self) -> "DDG":
+        """Return a copy of the graph extended with the virtual bottom node ``⊥``.
+
+        Following the paper: ``⊥`` is the sink of the flow dependences of the
+        exit values (so that every value has at least one consumer and its
+        killing date is well defined) and every other node has a serial arc
+        towards ``⊥`` whose latency equals the latency of the source
+        operation.  ``⊥`` is therefore always the last scheduled node.
+        """
+
+        if self.has_bottom:
+            return self.copy()
+        g = self.copy()
+        g.add_operation(Operation(BOTTOM, latency=0, opcode="bottom", fu_class="none"))
+        for rtype in g.register_types():
+            for value in list(g.exit_values(rtype)):
+                if value.node == BOTTOM:
+                    continue
+                g.add_flow_edge(value.node, BOTTOM, rtype)
+        for node, op in list(g._ops.items()):
+            if node == BOTTOM:
+                continue
+            if BOTTOM not in g._succ[node]:
+                g.add_serial_edge(node, BOTTOM, latency=op.latency)
+        return g
+
+    def without_bottom(self) -> "DDG":
+        """Return a copy of the graph with the virtual bottom node removed."""
+
+        if not self.has_bottom:
+            return self.copy()
+        g = DDG(self.name)
+        for op in self._ops.values():
+            if op.name != BOTTOM:
+                g.add_operation(op)
+        for edge in self.edges():
+            if BOTTOM not in (edge.src, edge.dst):
+                g.add_edge(edge)
+        return g
+
+    def copy(self, name: Optional[str] = None) -> "DDG":
+        g = DDG(name or self.name)
+        for op in self._ops.values():
+            g.add_operation(op)
+        for edge in self.edges():
+            g.add_edge(edge)
+        return g
+
+    def replace_operation(self, op: Operation) -> None:
+        """Replace the stored operation carrying ``op.name`` (keeps the arcs)."""
+
+        self._check_node(op.name)
+        self._ops[op.name] = op
+
+    # ------------------------------------------------------------------ #
+    # Interoperability / debugging
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Export to a :class:`networkx.MultiDiGraph` (for plotting/analysis)."""
+
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.name)
+        for op in self._ops.values():
+            g.add_node(op.name, operation=op)
+        for edge in self.edges():
+            g.add_edge(
+                edge.src,
+                edge.dst,
+                latency=edge.latency,
+                kind=edge.kind.value,
+                rtype=None if edge.rtype is None else edge.rtype.name,
+            )
+        return g
+
+    def summary(self) -> Mapping[str, object]:
+        """A small dictionary describing the graph (used by the reports)."""
+
+        return {
+            "name": self.name,
+            "operations": self.n,
+            "edges": self.m,
+            "flow_edges": sum(1 for e in self.edges() if e.is_flow),
+            "register_types": [t.name for t in self.register_types()],
+            "values": {
+                t.name: len(self.values(t)) for t in self.register_types()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DDG({self.name!r}, n={self.n}, m={self.m})"

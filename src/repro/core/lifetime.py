@@ -1,0 +1,188 @@
+"""Value lifetimes, register need (MAXLIVE) and interference graphs.
+
+Given a schedule ``sigma``, the lifetime interval of a value ``u^t`` is
+(paper Section 3)::
+
+    LT_sigma(u^t) = ] sigma_u + delta_w(u),  max_{v in Cons(u^t)} (sigma_v + delta_r(v)) ]
+
+i.e. it is *left-open*: a value written at cycle ``c`` is available one step
+later, so an operation reading a register at the very cycle another
+operation writes it still sees the previous value.
+
+The *register need* (register requirement) ``RN_sigma^t(G)`` of a register
+type is the maximal number of values of that type simultaneously alive --
+the maximal clique of the interference graph, which for intervals equals the
+maximal overlap count at any instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import GraphError
+from .graph import DDG
+from .schedule import Schedule
+from .types import BOTTOM, RegisterType, Value, canonical_type
+
+__all__ = [
+    "LifetimeInterval",
+    "value_lifetimes",
+    "intervals_interfere",
+    "register_need",
+    "simultaneously_alive_at",
+    "max_simultaneously_alive",
+    "interference_graph",
+    "register_need_all_types",
+    "killing_date",
+]
+
+
+@dataclass(frozen=True)
+class LifetimeInterval:
+    """The half-open lifetime interval ``]birth, death]`` of a value."""
+
+    value: Value
+    birth: int
+    death: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the value dies no later than it is born (never occupies a register)."""
+
+        return self.death <= self.birth
+
+    @property
+    def length(self) -> int:
+        return max(0, self.death - self.birth)
+
+    def contains(self, instant: int) -> bool:
+        """True when the value is alive at *instant* (birth excluded, death included)."""
+
+        return self.birth < instant <= self.death
+
+    def interferes(self, other: "LifetimeInterval") -> bool:
+        """True when the two lifetimes share at least one instant."""
+
+        if self.is_empty or other.is_empty:
+            return False
+        return self.death > other.birth and other.death > self.birth
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value}: ]{self.birth}, {self.death}]"
+
+
+def killing_date(
+    ddg: DDG, schedule: Schedule, value: Value
+) -> int:
+    """The killing date ``k_{u^t}`` of *value*: the last cycle at which it is read.
+
+    Following the paper, exit values are considered to be consumed by the
+    bottom node; when the DDG has not been normalised with ``with_bottom``
+    and the value has no consumer at all, the value dies as soon as it is
+    written (empty lifetime).
+    """
+
+    consumers = ddg.consumers(value.node, value.rtype)
+    producer = ddg.operation(value.node)
+    birth = schedule[value.node] + producer.delta_w
+    if not consumers:
+        return birth
+    return max(
+        schedule[c] + ddg.operation(c).delta_r for c in consumers
+    )
+
+
+def value_lifetimes(
+    ddg: DDG,
+    schedule: Schedule,
+    rtype: RegisterType | str,
+) -> List[LifetimeInterval]:
+    """Lifetime intervals of every value of type *rtype* under *schedule*."""
+
+    rtype = canonical_type(rtype)
+    out: List[LifetimeInterval] = []
+    for value in ddg.values(rtype):
+        producer = ddg.operation(value.node)
+        birth = schedule[value.node] + producer.delta_w
+        death = killing_date(ddg, schedule, value)
+        out.append(LifetimeInterval(value, birth, death))
+    return out
+
+
+def intervals_interfere(a: LifetimeInterval, b: LifetimeInterval) -> bool:
+    """Symmetric interference predicate on two lifetime intervals."""
+
+    return a.interferes(b)
+
+
+def simultaneously_alive_at(
+    intervals: Sequence[LifetimeInterval], instant: int
+) -> List[LifetimeInterval]:
+    """Intervals alive at *instant*."""
+
+    return [iv for iv in intervals if iv.contains(instant)]
+
+
+def max_simultaneously_alive(
+    intervals: Sequence[LifetimeInterval],
+) -> Tuple[int, List[LifetimeInterval]]:
+    """Maximal number of overlapping intervals and one witness set.
+
+    Because the intervals are left-open/right-closed the maximum overlap is
+    always attained at some interval's death instant, so only those candidate
+    instants need to be inspected.
+    """
+
+    best = 0
+    witness: List[LifetimeInterval] = []
+    candidates = sorted({iv.death for iv in intervals if not iv.is_empty})
+    for instant in candidates:
+        alive = simultaneously_alive_at(intervals, instant)
+        if len(alive) > best:
+            best = len(alive)
+            witness = alive
+    return best, witness
+
+
+def register_need(
+    ddg: DDG,
+    schedule: Schedule,
+    rtype: RegisterType | str,
+) -> int:
+    """The register requirement ``RN_sigma^t(G)`` of type *rtype* under *schedule*."""
+
+    intervals = value_lifetimes(ddg, schedule, rtype)
+    best, _ = max_simultaneously_alive(intervals)
+    return best
+
+
+def register_need_all_types(
+    ddg: DDG, schedule: Schedule
+) -> Dict[RegisterType, int]:
+    """Register requirement of every register type present in the DDG."""
+
+    return {t: register_need(ddg, schedule, t) for t in ddg.register_types()}
+
+
+def interference_graph(
+    ddg: DDG,
+    schedule: Schedule,
+    rtype: RegisterType | str,
+) -> Dict[Value, Set[Value]]:
+    """The undirected interference graph ``H_t`` of the paper as an adjacency map.
+
+    Two values are adjacent iff their lifetime intervals interfere; the
+    register requirement is the clique number of this graph, which for
+    interval graphs equals the maximal overlap returned by
+    :func:`register_need`.
+    """
+
+    intervals = value_lifetimes(ddg, schedule, rtype)
+    adjacency: Dict[Value, Set[Value]] = {iv.value: set() for iv in intervals}
+    for i, a in enumerate(intervals):
+        for b in intervals[i + 1:]:
+            if a.interferes(b):
+                adjacency[a.value].add(b.value)
+                adjacency[b.value].add(a.value)
+    return adjacency

@@ -1,0 +1,257 @@
+"""Target processor models (paper Section 2).
+
+The paper's analysis is parameterised by:
+
+* the set of register types and, for reduction, the number of available
+  registers ``R_t`` of each type;
+* the architecturally visible reading/writing offsets ``delta_r`` and
+  ``delta_w`` -- zero for superscalar and EPIC/IA64 targets, possibly
+  positive for VLIW machines that expose their pipeline;
+* (for the scheduling substrate only) the functional units and issue width.
+
+:class:`ProcessorModel` bundles those parameters.  Three presets mirror the
+architecture families discussed by the paper: :func:`superscalar`,
+:func:`vliw` and :func:`epic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from .graph import DDG
+from .operation import Operation
+from .types import FLOAT, INT, RegisterType, canonical_type
+
+__all__ = [
+    "ArchitectureFamily",
+    "FunctionalUnitSpec",
+    "ProcessorModel",
+    "superscalar",
+    "vliw",
+    "epic",
+    "generic_machine",
+    "retarget",
+]
+
+
+class ArchitectureFamily:
+    """String constants for the three ILP architecture families of the paper."""
+
+    SUPERSCALAR = "superscalar"
+    VLIW = "vliw"
+    EPIC = "epic"
+
+
+@dataclass(frozen=True)
+class FunctionalUnitSpec:
+    """A functional-unit class available on the machine.
+
+    ``count`` units of this class exist; an operation whose ``fu_class``
+    matches occupies one unit for ``occupancy`` cycles from its issue cycle
+    (a simple, fully pipelined reservation model).
+    """
+
+    name: str
+    count: int = 1
+    occupancy: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"functional unit {self.name!r} needs count >= 1")
+        if self.occupancy < 1:
+            raise ValueError(f"functional unit {self.name!r} needs occupancy >= 1")
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """A target machine description.
+
+    Parameters
+    ----------
+    name:
+        Display name of the machine.
+    family:
+        One of :class:`ArchitectureFamily`; decides the default latency of
+        the serial arcs introduced by RS reduction (see
+        :mod:`repro.reduction.serialization`).
+    register_files:
+        Number of architectural registers available per register type
+        (``R_t`` in the paper).
+    read_offsets / write_offsets:
+        Default ``delta_r`` / ``delta_w`` per functional-unit class, applied
+        by :func:`retarget`.  Superscalar and EPIC machines use zero.
+    issue_width:
+        Maximal number of operations issued per cycle (scheduling substrate).
+    functional_units:
+        Resource classes for the list scheduler.
+    """
+
+    name: str
+    family: str = ArchitectureFamily.SUPERSCALAR
+    register_files: Mapping[RegisterType, int] = field(
+        default_factory=lambda: {INT: 32, FLOAT: 32}
+    )
+    read_offsets: Mapping[str, int] = field(default_factory=dict)
+    write_offsets: Mapping[str, int] = field(default_factory=dict)
+    issue_width: int = 4
+    functional_units: Tuple[FunctionalUnitSpec, ...] = (
+        FunctionalUnitSpec("alu", count=2),
+        FunctionalUnitSpec("fpu", count=2),
+        FunctionalUnitSpec("mem", count=2),
+        FunctionalUnitSpec("none", count=64),
+    )
+
+    def __post_init__(self) -> None:
+        normalized = {canonical_type(t): int(r) for t, r in self.register_files.items()}
+        object.__setattr__(self, "register_files", normalized)
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    def registers(self, rtype: RegisterType | str) -> int:
+        """Number of architectural registers of type *rtype* (``R_t``)."""
+
+        rtype = canonical_type(rtype)
+        try:
+            return self.register_files[rtype]
+        except KeyError as exc:
+            raise KeyError(
+                f"machine {self.name!r} has no register file of type {rtype.name!r}"
+            ) from exc
+
+    def with_registers(self, rtype: RegisterType | str, count: int) -> "ProcessorModel":
+        """Return a copy of the machine with ``R_t`` set to *count*."""
+
+        files = dict(self.register_files)
+        files[canonical_type(rtype)] = int(count)
+        return replace(self, register_files=files)
+
+    @property
+    def has_offsets(self) -> bool:
+        """True when some functional-unit class uses non-zero read/write offsets."""
+
+        return any(self.read_offsets.values()) or any(self.write_offsets.values())
+
+    @property
+    def sequential_semantics(self) -> bool:
+        """True for superscalar targets whose object code is sequential."""
+
+        return self.family == ArchitectureFamily.SUPERSCALAR
+
+    def fu_spec(self, fu_class: str) -> FunctionalUnitSpec:
+        for spec in self.functional_units:
+            if spec.name == fu_class:
+                return spec
+        # Unknown classes fall back to a single generic unit so that the
+        # scheduler never crashes on exotic opcodes.
+        return FunctionalUnitSpec(fu_class, count=1)
+
+    def default_read_offset(self, fu_class: str) -> int:
+        return int(self.read_offsets.get(fu_class, 0))
+
+    def default_write_offset(self, fu_class: str) -> int:
+        return int(self.write_offsets.get(fu_class, 0))
+
+
+# --------------------------------------------------------------------------- #
+# Presets
+# --------------------------------------------------------------------------- #
+def superscalar(
+    int_registers: int = 32,
+    float_registers: int = 32,
+    issue_width: int = 4,
+    name: str = "superscalar-4",
+) -> ProcessorModel:
+    """A dynamically scheduled superscalar target: zero read/write offsets."""
+
+    return ProcessorModel(
+        name=name,
+        family=ArchitectureFamily.SUPERSCALAR,
+        register_files={INT: int_registers, FLOAT: float_registers},
+        issue_width=issue_width,
+    )
+
+
+def vliw(
+    int_registers: int = 32,
+    float_registers: int = 32,
+    issue_width: int = 6,
+    read_offset: int = 0,
+    write_offsets: Optional[Mapping[str, int]] = None,
+    name: str = "vliw-6",
+) -> ProcessorModel:
+    """A statically scheduled VLIW target with architecturally visible offsets.
+
+    By default results are written at the end of the operation's pipeline
+    (write offset = latency - 1 style exposure is workload dependent, so the
+    preset uses a modest per-class table that exercises the non-zero-offset
+    code paths: memory and floating point writes land 2 cycles after issue).
+    """
+
+    if write_offsets is None:
+        write_offsets = {"mem": 2, "fpu": 2, "alu": 1}
+    return ProcessorModel(
+        name=name,
+        family=ArchitectureFamily.VLIW,
+        register_files={INT: int_registers, FLOAT: float_registers},
+        read_offsets={"alu": read_offset, "fpu": read_offset, "mem": read_offset},
+        write_offsets=dict(write_offsets),
+        issue_width=issue_width,
+        functional_units=(
+            FunctionalUnitSpec("alu", count=4),
+            FunctionalUnitSpec("fpu", count=2),
+            FunctionalUnitSpec("mem", count=2),
+            FunctionalUnitSpec("none", count=64),
+        ),
+    )
+
+
+def epic(
+    int_registers: int = 128,
+    float_registers: int = 128,
+    issue_width: int = 6,
+    name: str = "epic-ia64",
+) -> ProcessorModel:
+    """An EPIC/IA64-style target: large register files, zero offsets."""
+
+    return ProcessorModel(
+        name=name,
+        family=ArchitectureFamily.EPIC,
+        register_files={INT: int_registers, FLOAT: float_registers},
+        issue_width=issue_width,
+        functional_units=(
+            FunctionalUnitSpec("alu", count=4),
+            FunctionalUnitSpec("fpu", count=2),
+            FunctionalUnitSpec("mem", count=2),
+            FunctionalUnitSpec("none", count=64),
+        ),
+    )
+
+
+def generic_machine(registers: int, rtype: RegisterType | str = INT) -> ProcessorModel:
+    """A minimal single-register-file machine used in examples and tests."""
+
+    return ProcessorModel(
+        name=f"generic-{registers}r",
+        family=ArchitectureFamily.SUPERSCALAR,
+        register_files={canonical_type(rtype): registers},
+    )
+
+
+def retarget(ddg: DDG, machine: ProcessorModel) -> DDG:
+    """Return a copy of *ddg* whose operations carry the machine's read/write offsets.
+
+    DDGs produced by the IR front end default to zero offsets; retargeting to
+    a VLIW machine stamps the per-functional-unit-class offsets onto every
+    operation so that the lifetime analysis sees the exposed pipeline.
+    """
+
+    g = ddg.copy()
+    for op in list(g.operations()):
+        new_op = op.with_offsets(
+            machine.default_read_offset(op.fu_class),
+            machine.default_write_offset(op.fu_class),
+        )
+        g.replace_operation(new_op)
+    return g

@@ -1,0 +1,112 @@
+"""Operations (DDG nodes) of the paper's DAG model.
+
+An operation ``u`` carries everything Section 2 of the paper attaches to a
+statement:
+
+* the set of register types it *defines* (at most one value per type);
+* its latency, used for the virtual serial arc towards the bottom node and
+  as the default latency of its outgoing flow arcs;
+* the architecturally visible *reading offset* ``delta_r(u)`` and *writing
+  offset* ``delta_w(u)`` (zero on superscalar and EPIC/IA64, possibly
+  positive on VLIW machines with exposed pipelines);
+* an opcode and a functional-unit class, which the register-saturation
+  analysis ignores but the scheduling substrate uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet
+
+from .types import RegisterType, canonical_type
+
+__all__ = ["Operation"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A node of the data dependence graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the operation inside its DDG.
+    defs:
+        Register types of the values this operation writes.  The paper's
+        model accepts statements defining several values as long as they do
+        not define more than one value of a given type.
+    latency:
+        Latency of the operation in processor clock cycles.  It is used as
+        the latency of the virtual arc towards the bottom node ``⊥`` and as
+        the default latency of flow arcs leaving the operation.
+    delta_r:
+        Reading offset ``delta_r(u)``: the operand read happens at
+        ``sigma(u) + delta_r(u)``.
+    delta_w:
+        Writing offset ``delta_w(u)``: the result write happens at
+        ``sigma(u) + delta_w(u)``.
+    opcode:
+        Mnemonic used by the IR front end and the reports; free form.
+    fu_class:
+        Functional-unit class consumed by the resource-constrained list
+        scheduler (e.g. ``"alu"``, ``"fpu"``, ``"mem"``); the register
+        saturation analysis itself is resource agnostic.
+    """
+
+    name: str
+    defs: FrozenSet[RegisterType] = field(default_factory=frozenset)
+    latency: int = 1
+    delta_r: int = 0
+    delta_w: int = 0
+    opcode: str = "op"
+    fu_class: str = "alu"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operation name must be a non-empty string")
+        if self.latency < 0:
+            raise ValueError(f"operation {self.name!r}: latency must be >= 0")
+        if self.delta_r < 0 or self.delta_w < 0:
+            raise ValueError(
+                f"operation {self.name!r}: read/write offsets must be >= 0"
+            )
+        normalized = frozenset(canonical_type(t) for t in self.defs)
+        object.__setattr__(self, "defs", normalized)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def defines(self, rtype: RegisterType | str) -> bool:
+        """Return True if this operation writes a value of type *rtype*."""
+
+        return canonical_type(rtype) in self.defs
+
+    @property
+    def is_value_producer(self) -> bool:
+        """True when the operation defines at least one register value."""
+
+        return bool(self.defs)
+
+    def read_cycle(self, issue_time: int) -> int:
+        """Cycle at which the operation reads its register operands."""
+
+        return issue_time + self.delta_r
+
+    def write_cycle(self, issue_time: int) -> int:
+        """Cycle at which the operation writes its result register(s)."""
+
+        return issue_time + self.delta_w
+
+    def renamed(self, new_name: str) -> "Operation":
+        """Return a copy of the operation under a different name."""
+
+        return replace(self, name=new_name)
+
+    def with_offsets(self, delta_r: int, delta_w: int) -> "Operation":
+        """Return a copy with new read/write offsets (used by machine re-targeting)."""
+
+        return replace(self, delta_r=delta_r, delta_w=delta_w)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ",".join(sorted(t.name for t in self.defs)) or "-"
+        return f"{self.name}[{self.opcode};lat={self.latency};defs={kinds}]"

@@ -1,0 +1,234 @@
+"""Schedules of a DDG (paper Section 2).
+
+A schedule ``sigma`` maps every operation to an integer issue cycle; it is
+valid iff ``sigma(v) - sigma(u) >= delta(e)`` for every arc ``e = (u, v)``.
+The set of all valid acyclic schedules of ``G`` is ``Sigma(G)``.
+
+Besides the :class:`Schedule` value object this module provides the
+reference schedulers used by the analyses:
+
+* :func:`asap_schedule` / :func:`alap_schedule` -- the canonical extreme
+  schedules;
+* :func:`sequential_schedule` -- the zero-ILP schedule used to reason about
+  the worst total time ``T``;
+* :func:`list_schedule_priority` -- an unconstrained (infinite resource)
+  list scheduler parameterised by a priority function, used by the greedy
+  register-saturation heuristics to exhibit witness schedules;
+* :func:`enumerate_schedules` -- exhaustive enumeration for tiny DDGs, the
+  brute-force ground truth of the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
+
+from ..analysis.graphalgo import alap_times, asap_times, critical_path_length
+from ..errors import ScheduleError
+from .graph import DDG
+from .types import BOTTOM
+
+__all__ = [
+    "Schedule",
+    "asap_schedule",
+    "alap_schedule",
+    "sequential_schedule",
+    "list_schedule_priority",
+    "enumerate_schedules",
+]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An issue-time assignment ``sigma`` for the operations of a DDG."""
+
+    times: Mapping[str, int]
+    ddg_name: str = "ddg"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "times", dict(self.times))
+
+    def __getitem__(self, node: str) -> int:
+        return self.times[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.times
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def makespan(self) -> int:
+        """Largest issue time (the paper's ``sigma_{⊥}`` when ``⊥`` is present)."""
+
+        return max(self.times.values(), default=0)
+
+    def total_time(self, ddg: DDG) -> int:
+        """Completion time: issue time plus latency of the last finishing operation."""
+
+        return max(
+            (self.times[op.name] + op.latency for op in ddg.operations()),
+            default=0,
+        )
+
+    def violations(self, ddg: DDG) -> List[str]:
+        """Human readable list of violated precedence constraints (empty if valid)."""
+
+        problems: List[str] = []
+        for node in ddg.nodes():
+            if node not in self.times:
+                problems.append(f"operation {node!r} is not scheduled")
+        for edge in ddg.edges():
+            if edge.src not in self.times or edge.dst not in self.times:
+                continue
+            slack = self.times[edge.dst] - self.times[edge.src] - edge.latency
+            if slack < 0:
+                problems.append(
+                    f"edge {edge.src}->{edge.dst} (latency {edge.latency}) violated by {-slack}"
+                )
+        return problems
+
+    def is_valid(self, ddg: DDG) -> bool:
+        """True when the schedule satisfies every precedence constraint of *ddg*."""
+
+        return not self.violations(ddg)
+
+    def check(self, ddg: DDG) -> "Schedule":
+        """Raise :class:`~repro.errors.ScheduleError` if the schedule is invalid."""
+
+        problems = self.violations(ddg)
+        if problems:
+            raise ScheduleError(
+                f"invalid schedule for {ddg.name!r}: " + "; ".join(problems[:5])
+            )
+        return self
+
+    def shifted(self, delta: int) -> "Schedule":
+        """Return a copy of the schedule with every issue time shifted by *delta*."""
+
+        return Schedule({v: t + delta for v, t in self.times.items()}, self.ddg_name)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule({self.ddg_name!r}, makespan={self.makespan})"
+
+
+# --------------------------------------------------------------------------- #
+# Reference schedulers
+# --------------------------------------------------------------------------- #
+def asap_schedule(ddg: DDG) -> Schedule:
+    """The as-soon-as-possible schedule (issue every operation at its ASAP time)."""
+
+    return Schedule(asap_times(ddg), ddg.name)
+
+
+def alap_schedule(ddg: DDG, total_time: Optional[int] = None) -> Schedule:
+    """The as-late-as-possible schedule for a given total time (critical path by default)."""
+
+    return Schedule(alap_times(ddg, total_time), ddg.name)
+
+
+def sequential_schedule(ddg: DDG) -> Schedule:
+    """A fully sequential schedule (no ILP): operations issue one after the other.
+
+    Consecutive operations are separated by the latency of every arc between
+    them (at least one cycle), following a topological order.  This witnesses
+    the paper's claim that ``T = sum(delta(e))`` is a valid worst-case
+    horizon.
+    """
+
+    order = ddg.topological_order()
+    times: Dict[str, int] = {}
+    clock = 0
+    scheduled: List[str] = []
+    for node in order:
+        earliest = clock
+        for edge in ddg.in_edges(node):
+            if edge.src in times:
+                earliest = max(earliest, times[edge.src] + edge.latency)
+        times[node] = earliest
+        clock = earliest + max(
+            [edge.latency for edge in ddg.out_edges(node)] + [1]
+        )
+        scheduled.append(node)
+    return Schedule(times, ddg.name)
+
+
+def list_schedule_priority(
+    ddg: DDG,
+    priority: Callable[[str], float],
+    tie_break: Optional[Callable[[str], float]] = None,
+) -> Schedule:
+    """Greedy list scheduling with unlimited resources and a custom priority.
+
+    At each step the ready operation (all predecessors scheduled) with the
+    highest priority is issued at its earliest feasible cycle.  With infinite
+    resources this always produces a valid schedule; the priority function
+    only changes *which* valid schedule is produced, which is exactly what
+    the saturation heuristics need when they look for schedules that keep
+    many values alive.
+    """
+
+    remaining_preds = {v: len(ddg.predecessors(v)) for v in ddg.nodes()}
+    ready = [v for v, k in remaining_preds.items() if k == 0]
+    times: Dict[str, int] = {}
+    while ready:
+        ready.sort(key=lambda v: (priority(v), tie_break(v) if tie_break else 0, v))
+        node = ready.pop()  # highest priority last after ascending sort
+        earliest = 0
+        for edge in ddg.in_edges(node):
+            earliest = max(earliest, times[edge.src] + edge.latency)
+        times[node] = earliest
+        for succ in ddg.successors(node):
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.append(succ)
+    if len(times) != ddg.n:
+        raise ScheduleError(f"list scheduling failed on {ddg.name!r} (cyclic graph?)")
+    return Schedule(times, ddg.name)
+
+
+def enumerate_schedules(
+    ddg: DDG,
+    horizon: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Schedule]:
+    """Exhaustively enumerate valid schedules with issue times in ``[ASAP, horizon-bounded ALAP]``.
+
+    This is exponential and only meant for tiny DDGs inside the test-suite
+    and the brute-force register-saturation oracle.  *horizon* defaults to
+    the critical path plus two idle cycles, which is enough slack to expose
+    every register-need pattern on the graphs it is used for.  *limit* stops
+    the enumeration after that many schedules.
+    """
+
+    if horizon is None:
+        horizon = critical_path_length(ddg) + 2
+    order = ddg.topological_order()
+    asap = asap_times(ddg)
+    alap = alap_times(ddg, horizon)
+    count = 0
+
+    def backtrack(index: int, partial: Dict[str, int]) -> Iterator[Schedule]:
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if index == len(order):
+            count += 1
+            yield Schedule(dict(partial), ddg.name)
+            return
+        node = order[index]
+        earliest = asap[node]
+        for edge in ddg.in_edges(node):
+            if edge.src in partial:
+                earliest = max(earliest, partial[edge.src] + edge.latency)
+        for t in range(int(earliest), int(alap[node]) + 1):
+            partial[node] = t
+            yield from backtrack(index + 1, partial)
+            if limit is not None and count >= limit:
+                break
+        partial.pop(node, None)
+
+    yield from backtrack(0, {})

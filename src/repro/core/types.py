@@ -1,0 +1,119 @@
+"""Fundamental value and dependence types of the DAG model (paper Section 2).
+
+The paper models a data dependence graph ``G = (V, E, delta)`` over a RISC
+style architecture with multiple *register types* ``T`` (for instance
+``{int, float}``).  A statement writes into at most one register of a given
+type; the pair ``(operation, register type)`` therefore identifies a value.
+This module defines:
+
+* :class:`RegisterType` -- a named register class (int, float, branch, ...);
+* :class:`Value` -- a value ``u^t`` produced by operation ``u`` into a
+  register of type ``t``;
+* :class:`DependenceKind` -- flow (through a register) versus serial
+  (ordering only) dependence arcs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "RegisterType",
+    "INT",
+    "FLOAT",
+    "BRANCH",
+    "Value",
+    "DependenceKind",
+    "BOTTOM",
+    "canonical_type",
+]
+
+
+#: Name of the virtual bottom node ``⊥`` added by :meth:`repro.core.graph.DDG.with_bottom`.
+BOTTOM = "__bottom__"
+
+
+@dataclass(frozen=True, order=True)
+class RegisterType:
+    """A register type ``t`` of the target architecture.
+
+    The paper's model is parameterised by a set of register types ``T``.
+    Register types are value objects identified by their name; two
+    ``RegisterType`` instances with the same name are interchangeable.
+
+    Parameters
+    ----------
+    name:
+        A short identifier, e.g. ``"int"``, ``"float"`` or ``"fp"``.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: The general purpose (integer) register type used throughout the examples.
+INT = RegisterType("int")
+#: The floating point register type.
+FLOAT = RegisterType("float")
+#: A branch/predicate register type (EPIC/IA64 style); rarely used but
+#: exercises the multi-type code paths.
+BRANCH = RegisterType("branch")
+
+_WELL_KNOWN = {t.name: t for t in (INT, FLOAT, BRANCH)}
+
+
+def canonical_type(rtype: "RegisterType | str") -> RegisterType:
+    """Return a :class:`RegisterType` for *rtype*, accepting plain strings.
+
+    The public API accepts either a :class:`RegisterType` or its name.  This
+    helper normalises both spellings; well known names reuse the module level
+    singletons so identity comparisons keep working in user code.
+    """
+
+    if isinstance(rtype, RegisterType):
+        return rtype
+    if isinstance(rtype, str):
+        return _WELL_KNOWN.get(rtype, RegisterType(rtype))
+    raise TypeError(f"expected RegisterType or str, got {type(rtype).__name__}")
+
+
+@dataclass(frozen=True, order=True)
+class Value:
+    """A value ``u^t`` of register type ``t`` produced by operation ``u``.
+
+    The paper writes ``u^t`` for the value of type ``t`` defined by statement
+    ``u``; because a statement defines at most one value per type, the pair
+    ``(node, rtype)`` is a unique identifier.
+    """
+
+    node: str
+    rtype: RegisterType
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.node}^{self.rtype.name}"
+
+
+class DependenceKind(enum.Enum):
+    """Kind of a dependence arc in the DDG.
+
+    ``FLOW`` arcs carry a value through a register of a given type (the set
+    ``E_{R,t}`` of the paper); ``SERIAL`` arcs only impose an ordering --
+    they model anti/output/memory dependences, control constraints and the
+    serial arcs introduced by register saturation reduction.
+    """
+
+    FLOW = "flow"
+    SERIAL = "serial"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def sorted_types(types: Iterable[RegisterType]) -> list[RegisterType]:
+    """Return *types* sorted by name (deterministic iteration helper)."""
+
+    return sorted(set(types), key=lambda t: t.name)

@@ -1,0 +1,69 @@
+"""Well-formedness checks for data dependence graphs.
+
+These checks enforce the model restrictions stated in Section 2 of the
+paper (a statement defines at most one value per register type, flow edges
+reference defined values, the graph is acyclic, latencies are sane) and are
+used by the public entry points before any expensive analysis runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GraphError
+from .graph import DDG
+from .types import BOTTOM
+
+__all__ = ["validate_ddg", "check_ddg"]
+
+
+def validate_ddg(ddg: DDG, require_acyclic: bool = True) -> List[str]:
+    """Return a list of problems found in *ddg* (empty when the graph is well formed)."""
+
+    problems: List[str] = []
+
+    if ddg.n == 0:
+        problems.append("graph has no operation")
+        return problems
+
+    if require_acyclic and not ddg.is_acyclic():
+        problems.append("graph contains a dependence cycle")
+
+    for edge in ddg.edges():
+        if edge.is_flow:
+            producer = ddg.operation(edge.src)
+            if edge.rtype not in producer.defs:
+                problems.append(
+                    f"flow edge {edge.src}->{edge.dst} carries type "
+                    f"{edge.rtype.name!r} not defined by {edge.src!r}"
+                )
+            if edge.latency < 0:
+                problems.append(
+                    f"flow edge {edge.src}->{edge.dst} has negative latency"
+                )
+
+    for op in ddg.operations():
+        if op.name == BOTTOM:
+            continue
+        if op.latency < 0:
+            problems.append(f"operation {op.name!r} has negative latency")
+        if op.delta_r < 0 or op.delta_w < 0:
+            problems.append(f"operation {op.name!r} has negative offsets")
+
+    if ddg.has_bottom:
+        bottom_succ = ddg.successors(BOTTOM)
+        if bottom_succ:
+            problems.append("the bottom node must not have successors")
+
+    return problems
+
+
+def check_ddg(ddg: DDG, require_acyclic: bool = True) -> DDG:
+    """Raise :class:`~repro.errors.GraphError` when *ddg* is malformed, else return it."""
+
+    problems = validate_ddg(ddg, require_acyclic=require_acyclic)
+    if problems:
+        raise GraphError(
+            f"DDG {ddg.name!r} is malformed: " + "; ".join(problems[:5])
+        )
+    return ddg

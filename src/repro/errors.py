@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``, ``KeyError``, ...) coming from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """A data dependence graph is malformed or an operation on it is invalid."""
+
+
+class CyclicGraphError(GraphError):
+    """An operation that requires a DAG was given a cyclic graph."""
+
+
+class ScheduleError(ReproError):
+    """A schedule violates the precedence constraints of its DDG."""
+
+
+class ModelError(ReproError):
+    """An integer linear program is malformed (unknown variable, bad bounds...)."""
+
+
+class SolverError(ReproError):
+    """The underlying intLP solver failed unexpectedly."""
+
+
+class InfeasibleError(SolverError):
+    """The intLP instance admits no feasible solution."""
+
+    def __init__(self, message: str = "integer program is infeasible") -> None:
+        super().__init__(message)
+
+
+class UnboundedError(SolverError):
+    """The intLP instance is unbounded in the optimization direction."""
+
+
+class KillingFunctionError(ReproError):
+    """A killing function is invalid (killer not a potential killer, cyclic killed graph...)."""
+
+
+class ReductionError(ReproError):
+    """Register saturation reduction failed."""
+
+
+class SpillRequiredError(ReductionError):
+    """The register saturation cannot be reduced below the requested budget.
+
+    The paper (Section 4) reaches this state when no intLP solution exists
+    even with a single register: "the register saturation cannot be reduced
+    and spilling is unavoidable".
+    """
+
+
+class AllocationError(ReproError):
+    """Register allocation failed (not enough registers without spilling)."""
+
+
+class IRError(ReproError):
+    """The small three-address IR of :mod:`repro.codes` was used incorrectly."""

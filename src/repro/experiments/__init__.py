@@ -1,0 +1,32 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5) and discussion."""
+
+from .ilp_size import ModelSizePoint, ModelSizeReport, run_ilp_size_study
+from .optimality_reduction import (
+    PAPER_BREAKDOWN,
+    ReductionComparison,
+    ReductionOptimalityReport,
+    run_reduction_optimality,
+)
+from .optimality_rs import RSComparison, RSOptimalityReport, run_rs_optimality
+from .pipeline import PipelineOutcome, PipelineReport, run_pipeline, run_pipeline_experiment
+from .reporting import format_breakdown, format_table, section
+
+__all__ = [
+    "run_rs_optimality",
+    "RSComparison",
+    "RSOptimalityReport",
+    "run_reduction_optimality",
+    "ReductionComparison",
+    "ReductionOptimalityReport",
+    "PAPER_BREAKDOWN",
+    "run_ilp_size_study",
+    "ModelSizePoint",
+    "ModelSizeReport",
+    "run_pipeline",
+    "run_pipeline_experiment",
+    "PipelineOutcome",
+    "PipelineReport",
+    "format_table",
+    "format_breakdown",
+    "section",
+]

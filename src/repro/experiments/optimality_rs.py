@@ -1,0 +1,166 @@
+"""Section-5 experiment #1: optimality of the register-saturation heuristic.
+
+For every DAG of the experiment population and every register type it
+defines, compute the Greedy-k approximation ``RS*`` and the exact value
+``RS`` (Section-3 intLP), and report the error distribution.  The paper's
+finding: "the maximal empirical error is one register (in very few cases)";
+``RS* > RS`` is impossible because the heuristic exhibits a valid witness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..codes.suite import SuiteEntry, benchmark_suite
+from ..core.types import RegisterType
+from ..saturation import exact_saturation, greedy_saturation
+from .reporting import format_table
+
+__all__ = ["RSComparison", "RSOptimalityReport", "run_rs_optimality"]
+
+
+@dataclass(frozen=True)
+class RSComparison:
+    """Heuristic vs exact saturation on one (DAG, register type) instance."""
+
+    name: str
+    category: str
+    rtype: str
+    nodes: int
+    edges: int
+    rs_exact: int
+    rs_heuristic: int
+    time_exact: float
+    time_heuristic: float
+
+    @property
+    def error(self) -> int:
+        """``RS - RS*`` (non-negative when the heuristic is admissible)."""
+
+        return self.rs_exact - self.rs_heuristic
+
+    @property
+    def heuristic_is_optimal(self) -> bool:
+        return self.error == 0
+
+
+@dataclass(frozen=True)
+class RSOptimalityReport:
+    """Aggregated results of the RS-optimality experiment."""
+
+    comparisons: List[RSComparison] = field(default_factory=list)
+
+    @property
+    def instances(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def max_error(self) -> int:
+        return max((c.error for c in self.comparisons), default=0)
+
+    @property
+    def min_error(self) -> int:
+        return min((c.error for c in self.comparisons), default=0)
+
+    @property
+    def optimal_count(self) -> int:
+        return sum(1 for c in self.comparisons if c.heuristic_is_optimal)
+
+    @property
+    def optimal_percentage(self) -> float:
+        if not self.comparisons:
+            return 100.0
+        return 100.0 * self.optimal_count / len(self.comparisons)
+
+    def error_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for c in self.comparisons:
+            hist[c.error] = hist.get(c.error, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def mean_speedup(self) -> float:
+        """Geometric-mean ratio of exact to heuristic wall time."""
+
+        import math
+
+        ratios = [
+            c.time_exact / c.time_heuristic
+            for c in self.comparisons
+            if c.time_heuristic > 0 and c.time_exact > 0
+        ]
+        if not ratios:
+            return float("nan")
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    def to_table(self) -> str:
+        rows = [
+            (
+                c.name,
+                c.rtype,
+                c.nodes,
+                c.rs_exact,
+                c.rs_heuristic,
+                c.error,
+                f"{c.time_exact:.3f}",
+                f"{c.time_heuristic:.4f}",
+            )
+            for c in self.comparisons
+        ]
+        return format_table(
+            ["benchmark", "type", "n", "RS", "RS*", "error", "t_exact(s)", "t_heur(s)"],
+            rows,
+            title="Register saturation: heuristic (RS*) vs optimal (RS)",
+        )
+
+    def summary_lines(self) -> List[str]:
+        hist = self.error_histogram()
+        return [
+            f"instances analysed           : {self.instances}",
+            f"heuristic exactly optimal    : {self.optimal_count} ({self.optimal_percentage:.2f}%)",
+            f"maximal empirical error      : {self.max_error} register(s)",
+            f"error histogram (error=count): {hist}",
+            f"geo-mean exact/heuristic time: {self.mean_speedup():.1f}x",
+        ]
+
+
+def run_rs_optimality(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    max_nodes: int = 26,
+    time_limit: Optional[float] = 120.0,
+) -> RSOptimalityReport:
+    """Run the RS-optimality experiment over *suite* (the default population).
+
+    ``max_nodes`` keeps the intLP instances tractable; the paper likewise
+    notes that reaching optimality "was very time consuming (from many
+    seconds to many days)" and restricts itself to loop bodies.
+    """
+
+    if suite is None:
+        suite = benchmark_suite(max_size=max_nodes)
+    comparisons: List[RSComparison] = []
+    for entry in suite:
+        if entry.size > max_nodes:
+            continue
+        for rtype in entry.ddg.register_types():
+            t0 = time.perf_counter()
+            heuristic = greedy_saturation(entry.ddg, rtype)
+            t_heur = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            exact = exact_saturation(entry.ddg, rtype, time_limit=time_limit)
+            t_exact = time.perf_counter() - t0
+            comparisons.append(
+                RSComparison(
+                    name=entry.name,
+                    category=entry.category,
+                    rtype=rtype.name,
+                    nodes=entry.ddg.n,
+                    edges=entry.ddg.m,
+                    rs_exact=exact.rs,
+                    rs_heuristic=heuristic.rs,
+                    time_exact=t_exact,
+                    time_heuristic=t_heur,
+                )
+            )
+    return RSOptimalityReport(comparisons)

@@ -1,0 +1,180 @@
+"""The Figure-1 pipeline experiment: early register-pressure management end to end.
+
+The paper's Figure 1 shows the proposed compiler flow::
+
+    DAG -> [RS computation] -> (RS <= R_t ?) -> [RS reduction] -> modified DAG
+        -> instruction scheduling -> register allocation
+
+This experiment runs that flow on a benchmark DAG and a machine, and checks
+the paper's promise: after the (possibly trivial) reduction pass the
+scheduler can ignore registers entirely and the allocator never needs to
+spill.  It also runs the baseline the paper argues against -- scheduling
+first and iteratively spilling -- so the benefit can be quantified (memory
+operations avoided, makespan difference).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..allocation import linear_scan_allocate, schedule_with_spilling
+from ..codes.suite import SuiteEntry, benchmark_suite
+from ..core.machine import ProcessorModel, superscalar
+from ..core.types import RegisterType
+from ..reduction import reduce_saturation_heuristic
+from ..saturation import greedy_saturation, trivially_within_budget
+from ..scheduling import evaluate_schedule, list_schedule
+from .reporting import format_table
+
+__all__ = ["PipelineOutcome", "PipelineReport", "run_pipeline", "run_pipeline_experiment"]
+
+
+@dataclass(frozen=True)
+class PipelineOutcome:
+    """End-to-end result of the RS-managed flow on one (DAG, type, machine) instance."""
+
+    name: str
+    rtype: str
+    registers: int
+    rs_before: int
+    rs_after: int
+    reduction_needed: bool
+    reduction_success: bool
+    arcs_added: int
+    schedule_length: int
+    registers_used: int
+    spill_free: bool
+    baseline_spills: int
+    baseline_memory_ops: int
+    baseline_schedule_length: int
+    wall_time: float
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    outcomes: List[PipelineOutcome] = field(default_factory=list)
+
+    @property
+    def all_spill_free(self) -> bool:
+        return all(o.spill_free for o in self.outcomes if o.reduction_success)
+
+    @property
+    def spill_free_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.spill_free)
+
+    def to_table(self) -> str:
+        rows = [
+            (
+                o.name,
+                o.rtype,
+                o.registers,
+                o.rs_before,
+                o.rs_after,
+                o.arcs_added,
+                o.schedule_length,
+                o.registers_used,
+                "yes" if o.spill_free else "NO",
+                o.baseline_memory_ops,
+                o.baseline_schedule_length,
+            )
+            for o in self.outcomes
+        ]
+        return format_table(
+            [
+                "benchmark",
+                "type",
+                "R",
+                "RS0",
+                "RS'",
+                "arcs",
+                "len",
+                "regs",
+                "no-spill",
+                "base-mem",
+                "base-len",
+            ],
+            rows,
+            title="Figure-1 pipeline: RS management vs schedule-then-spill baseline",
+        )
+
+
+def run_pipeline(
+    entry: SuiteEntry,
+    rtype: RegisterType,
+    machine: ProcessorModel,
+    registers: Optional[int] = None,
+) -> PipelineOutcome:
+    """Run the Figure-1 flow on one DAG/type and compare against the spill baseline."""
+
+    start = time.perf_counter()
+    budget = registers if registers is not None else machine.registers(rtype)
+    ddg = entry.ddg
+
+    # Step 1: register saturation computation (skippable when |V_R,t| <= R_t).
+    rs_before = greedy_saturation(ddg, rtype).rs
+    reduction_needed = not trivially_within_budget(ddg, rtype, budget) and rs_before > budget
+
+    # Step 2: register saturation reduction (only when needed).
+    if reduction_needed:
+        reduction = reduce_saturation_heuristic(ddg, rtype, budget, machine=machine)
+        working = reduction.extended_ddg
+        rs_after = reduction.achieved_rs
+        arcs_added = reduction.arcs_added
+        reduction_success = reduction.success
+    else:
+        working = ddg
+        rs_after = rs_before
+        arcs_added = 0
+        reduction_success = True
+
+    # Step 3: resource-constrained scheduling, register-blind.
+    scheduled = working.with_bottom()
+    schedule = list_schedule(scheduled, machine)
+    metrics = evaluate_schedule(scheduled, schedule)
+
+    # Step 4: register allocation.
+    allocation = linear_scan_allocate(scheduled, schedule, rtype, registers=budget)
+
+    # Baseline: combined scheduling with iterative spilling.
+    baseline = schedule_with_spilling(ddg, rtype, budget, machine=machine)
+    baseline_metrics = evaluate_schedule(baseline.ddg.with_bottom(), baseline.schedule)
+
+    return PipelineOutcome(
+        name=entry.name,
+        rtype=rtype.name,
+        registers=budget,
+        rs_before=rs_before,
+        rs_after=rs_after,
+        reduction_needed=reduction_needed,
+        reduction_success=reduction_success,
+        arcs_added=arcs_added,
+        schedule_length=metrics.total_time,
+        registers_used=allocation.registers_used,
+        spill_free=allocation.success,
+        baseline_spills=len(baseline.spilled_values),
+        baseline_memory_ops=baseline.memory_operations_added,
+        baseline_schedule_length=baseline_metrics.total_time,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def run_pipeline_experiment(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    machine: Optional[ProcessorModel] = None,
+    registers: Optional[int] = None,
+    max_nodes: int = 40,
+) -> PipelineReport:
+    """Run the pipeline experiment over the benchmark suite."""
+
+    if suite is None:
+        suite = benchmark_suite(max_size=max_nodes)
+    machine = machine or superscalar()
+    outcomes: List[PipelineOutcome] = []
+    for entry in suite:
+        if entry.size > max_nodes:
+            continue
+        for rtype in entry.ddg.register_types():
+            outcomes.append(run_pipeline(entry, rtype, machine, registers=registers))
+    return PipelineReport(outcomes)

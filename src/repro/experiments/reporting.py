@@ -1,0 +1,63 @@
+"""Plain-text report rendering for the experiment harness.
+
+The paper reports its Section-5 results as in-text statistics; the harness
+prints them as small aligned tables so the benchmark output can be compared
+to the paper at a glance (and archived in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_breakdown", "section"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    percentages: Mapping[str, float],
+    counts: Mapping[str, int],
+    title: str = "",
+    paper_reference: Mapping[str, float] | None = None,
+) -> str:
+    """Render a category percentage breakdown, optionally next to the paper's numbers."""
+
+    headers = ["category", "count", "measured %"]
+    if paper_reference:
+        headers.append("paper %")
+    rows = []
+    for key in percentages:
+        row = [key, counts.get(key, 0), f"{percentages[key]:.2f}"]
+        if paper_reference:
+            ref = paper_reference.get(key)
+            row.append("-" if ref is None else f"{ref:.2f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def section(title: str) -> str:
+    """A visually separated section header for benchmark stdout."""
+
+    bar = "=" * max(30, len(title) + 4)
+    return f"\n{bar}\n  {title}\n{bar}"

@@ -1,0 +1,89 @@
+"""Integer linear programming substrate (modelling layer + solvers).
+
+The paper expresses both the register-saturation computation (Section 3) and
+its reduction (Section 4) as integer linear programs whose logical operators
+are linearized with extra binary variables.  This package provides the
+modelling objects those formulations are written against and two exact
+backends:
+
+* :func:`solve` / :func:`repro.ilp.scipy_backend.solve_with_scipy` -- the
+  default backend, HiGHS through :func:`scipy.optimize.milp` (standing in
+  for the paper's CPLEX);
+* :func:`repro.ilp.branch_bound.solve_with_branch_and_bound` -- a small
+  pure-Python branch-and-bound used for cross-checks and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import InfeasibleError, SolverError, UnboundedError
+from .branch_bound import solve_with_branch_and_bound
+from .expressions import LinExpr, as_expr
+from .logical import (
+    add_disjunction_ge,
+    add_equivalence_conjunction,
+    add_implication_ge,
+    add_implication_le,
+    add_max_equality,
+    expression_bounds,
+)
+from .model import Constraint, IntegerProgram, VariableDef, VariableKind
+from .scipy_backend import solve_with_scipy
+from .solution import Solution, SolveStatus
+
+__all__ = [
+    "LinExpr",
+    "as_expr",
+    "IntegerProgram",
+    "Constraint",
+    "VariableDef",
+    "VariableKind",
+    "Solution",
+    "SolveStatus",
+    "solve",
+    "solve_with_scipy",
+    "solve_with_branch_and_bound",
+    "add_disjunction_ge",
+    "add_equivalence_conjunction",
+    "add_implication_ge",
+    "add_implication_le",
+    "add_max_equality",
+    "expression_bounds",
+]
+
+#: Registry of available exact backends.
+BACKENDS = {
+    "scipy": solve_with_scipy,
+    "highs": solve_with_scipy,
+    "branch-bound": solve_with_branch_and_bound,
+}
+
+
+def solve(
+    program: IntegerProgram,
+    backend: str = "scipy",
+    time_limit: Optional[float] = None,
+    require_feasible: bool = False,
+) -> Solution:
+    """Solve an integer program with the named backend.
+
+    When ``require_feasible`` is set an infeasible or unbounded outcome
+    raises :class:`~repro.errors.InfeasibleError` /
+    :class:`~repro.errors.UnboundedError` instead of returning a status-only
+    solution, which keeps the call sites of the saturation code short.
+    """
+
+    try:
+        solver = BACKENDS[backend]
+    except KeyError as exc:
+        raise SolverError(
+            f"unknown intLP backend {backend!r}; available: {sorted(BACKENDS)}"
+        ) from exc
+    solution = solver(program, time_limit=time_limit)
+    if require_feasible:
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(f"model {program.name!r} is infeasible")
+        if solution.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError(f"model {program.name!r} is unbounded")
+    return solution

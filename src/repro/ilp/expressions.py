@@ -1,0 +1,156 @@
+"""Linear expressions for the integer-programming substrate.
+
+The intLP formulations of the paper are written in terms of integer schedule
+variables, killing dates and binary interference/independent-set variables.
+:class:`LinExpr` gives those formulations a readable algebraic notation::
+
+    sigma_v - sigma_u >= delta        ->   model.add_ge(sv - su, delta)
+    k_u <= sigma_v + dr + M*(1 - b)   ->   model.add_le(ku - sv - M*(1 - b), dr)
+
+An expression is an affine combination ``sum_i c_i * x_i + constant`` stored
+as a ``{variable name: coefficient}`` mapping.  Expressions are immutable
+from the caller's point of view: every operator returns a fresh object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+__all__ = ["LinExpr", "as_expr"]
+
+Number = Union[int, float]
+
+
+class LinExpr:
+    """An affine expression over named variables."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[str, float] | None = None, constant: Number = 0.0):
+        self.terms: Dict[str, float] = {
+            k: float(v) for k, v in (terms or {}).items() if v != 0
+        }
+        self.constant: float = float(constant)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def term(cls, name: str, coefficient: Number = 1.0) -> "LinExpr":
+        """The expression ``coefficient * name``."""
+
+        return cls({name: float(coefficient)})
+
+    @classmethod
+    def constant_expr(cls, value: Number) -> "LinExpr":
+        return cls({}, value)
+
+    @classmethod
+    def sum(cls, exprs: Iterable["LinExpr | Number"]) -> "LinExpr":
+        acc = cls()
+        for e in exprs:
+            acc = acc + e
+        return acc
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def _combine(self, other: "LinExpr | Number", sign: float) -> "LinExpr":
+        other = as_expr(other)
+        terms = dict(self.terms)
+        for name, coeff in other.terms.items():
+            terms[name] = terms.get(name, 0.0) + sign * coeff
+        return LinExpr(terms, self.constant + sign * other.constant)
+
+    def __add__(self, other: "LinExpr | Number") -> "LinExpr":
+        return self._combine(other, 1.0)
+
+    def __radd__(self, other: "LinExpr | Number") -> "LinExpr":
+        return self._combine(other, 1.0)
+
+    def __sub__(self, other: "LinExpr | Number") -> "LinExpr":
+        return self._combine(other, -1.0)
+
+    def __rsub__(self, other: "LinExpr | Number") -> "LinExpr":
+        return as_expr(other)._combine(self, -1.0)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if isinstance(factor, LinExpr):
+            raise TypeError("LinExpr supports multiplication by scalars only")
+        return LinExpr(
+            {k: v * float(factor) for k, v in self.terms.items()},
+            self.constant * float(factor),
+        )
+
+    def __rmul__(self, factor: Number) -> "LinExpr":
+        return self.__mul__(factor)
+
+    def __neg__(self) -> "LinExpr":
+        return self.__mul__(-1.0)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self.terms.keys())
+
+    def coefficient(self, name: str) -> float:
+        return self.terms.get(name, 0.0)
+
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Value of the expression under a variable assignment."""
+
+        return self.constant + sum(
+            coeff * assignment[name] for name, coeff in self.terms.items()
+        )
+
+    def bounds(
+        self, variable_bounds: Mapping[str, Tuple[float, float]]
+    ) -> Tuple[float, float]:
+        """Interval containing the expression's value given variable bounds.
+
+        Used to derive finite big-M constants for the logical linearizations,
+        as the paper requires ("that linear writing ... requires to bound the
+        domain set of the integer variables").
+        """
+
+        lo = hi = self.constant
+        for name, coeff in self.terms.items():
+            vlo, vhi = variable_bounds[name]
+            if coeff >= 0:
+                lo += coeff * vlo
+                hi += coeff * vhi
+            else:
+                lo += coeff * vhi
+                hi += coeff * vlo
+        return lo, hi
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c:+g}*{v}" for v, c in sorted(self.terms.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.terms == other.terms and self.constant == other.constant
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.terms.items()), self.constant))
+
+
+def as_expr(value: "LinExpr | Number | str") -> LinExpr:
+    """Coerce a number, variable name or expression into a :class:`LinExpr`."""
+
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, str):
+        return LinExpr.term(value)
+    if isinstance(value, (int, float)):
+        return LinExpr.constant_expr(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to LinExpr")

@@ -1,0 +1,182 @@
+"""Linearization of logical operators and of ``max`` for integer programs.
+
+The paper (Section 3) writes its register-need constraints with logical
+connectives (``=>``, ``<=>``, ``or``) and the ``max`` operator, and then
+relies on the classical big-M linearizations of [15], which require every
+integer variable to live in a *bounded* domain.  This module implements
+those linearizations against :class:`~repro.ilp.model.IntegerProgram`:
+
+* :func:`add_max_equality` -- ``r = max(t_1, ..., t_k)`` with ``k`` extra
+  binary variables (one per term);
+* :func:`add_implication_ge` / :func:`add_implication_le` -- ``b = 1  =>
+  expr >= rhs`` (resp. ``<=``) with no extra variable;
+* :func:`add_disjunction_ge` -- ``expr_1 >= rhs_1  or ... or expr_k >= rhs_k``
+  with ``k`` extra binaries;
+* :func:`add_equivalence_conjunction` -- ``s = 1  <=>  (expr_1 >= rhs_1 and
+  ... and expr_k >= rhs_k)``, the workhorse of the lifetime-interference
+  constraints.
+
+All big-M constants are derived from the variable bounds recorded in the
+model (never a magic 1e6), following the paper's insistence on finite
+domains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ModelError
+from .expressions import LinExpr, as_expr
+from .model import IntegerProgram
+
+__all__ = [
+    "expression_bounds",
+    "add_max_equality",
+    "add_implication_ge",
+    "add_implication_le",
+    "add_disjunction_ge",
+    "add_equivalence_conjunction",
+]
+
+#: Integrality gap used to express the strict inequalities that appear when a
+#: logical condition is negated (all schedule quantities are integers).
+INTEGER_EPS = 1.0
+
+
+def expression_bounds(model: IntegerProgram, expr: LinExpr) -> Tuple[float, float]:
+    """Finite lower/upper bounds of *expr* induced by the model's variable bounds."""
+
+    return expr.bounds(model.variable_bounds())
+
+
+def add_max_equality(
+    model: IntegerProgram,
+    result: LinExpr,
+    terms: Sequence[LinExpr],
+    prefix: str,
+) -> List[LinExpr]:
+    """Constrain ``result == max(terms)``.
+
+    *result* must be a single-variable expression previously added to the
+    model.  For each term ``t_i`` two families of constraints are added::
+
+        result >= t_i                              (max dominates every term)
+        result <= t_i + M_i * (1 - b_i)            (some term attains the max)
+        sum_i b_i = 1
+
+    where ``b_i`` are fresh binary variables and ``M_i`` is the tightest
+    big-M derived from the bounds of ``result - t_i``.
+
+    Returns the list of selector binaries (useful for debugging/tests).
+    """
+
+    if not terms:
+        raise ModelError("max() over an empty term list")
+    result = as_expr(result)
+    selectors: List[LinExpr] = []
+    for i, term in enumerate(terms):
+        term = as_expr(term)
+        model.add_ge(result - term, 0.0, label=f"{prefix}_ge_{i}")
+    if len(terms) == 1:
+        # max of a single term is that term; close the equality without a binary.
+        model.add_le(result - as_expr(terms[0]), 0.0, label=f"{prefix}_le_0")
+        return selectors
+    for i, term in enumerate(terms):
+        term = as_expr(term)
+        b = model.add_binary(f"{prefix}_sel_{i}")
+        selectors.append(b)
+        diff = result - term
+        _, diff_hi = expression_bounds(model, diff)
+        big_m = max(diff_hi, 0.0)
+        # result - t_i <= M * (1 - b_i)
+        model.add_le(diff + big_m * b, big_m, label=f"{prefix}_le_{i}")
+    model.add_eq(LinExpr.sum(selectors), 1.0, label=f"{prefix}_one_selector")
+    return selectors
+
+
+def add_implication_ge(
+    model: IntegerProgram,
+    binary: LinExpr,
+    expr: LinExpr,
+    rhs: float,
+    label: str = "",
+) -> None:
+    """Add ``binary = 1  =>  expr >= rhs`` using the expression's finite lower bound."""
+
+    expr = as_expr(expr)
+    binary = as_expr(binary)
+    lo, _ = expression_bounds(model, expr)
+    if lo >= rhs:
+        return  # the implication holds unconditionally
+    big_m = rhs - lo
+    # expr >= rhs - M * (1 - b)   <=>   expr - M*b >= rhs - M
+    model.add_ge(expr - big_m * binary, rhs - big_m, label=label)
+
+
+def add_implication_le(
+    model: IntegerProgram,
+    binary: LinExpr,
+    expr: LinExpr,
+    rhs: float,
+    label: str = "",
+) -> None:
+    """Add ``binary = 1  =>  expr <= rhs`` using the expression's finite upper bound."""
+
+    expr = as_expr(expr)
+    binary = as_expr(binary)
+    _, hi = expression_bounds(model, expr)
+    if hi <= rhs:
+        return
+    big_m = hi - rhs
+    # expr <= rhs + M * (1 - b)   <=>   expr + M*b <= rhs + M
+    model.add_le(expr + big_m * binary, rhs + big_m, label=label)
+
+
+def add_disjunction_ge(
+    model: IntegerProgram,
+    alternatives: Sequence[Tuple[LinExpr, float]],
+    prefix: str,
+) -> List[LinExpr]:
+    """Add ``OR_i (expr_i >= rhs_i)`` with one selector binary per alternative."""
+
+    if not alternatives:
+        raise ModelError("disjunction over an empty alternative list")
+    selectors: List[LinExpr] = []
+    for i, (expr, rhs) in enumerate(alternatives):
+        y = model.add_binary(f"{prefix}_alt_{i}")
+        selectors.append(y)
+        add_implication_ge(model, y, as_expr(expr), rhs, label=f"{prefix}_impl_{i}")
+    model.add_ge(LinExpr.sum(selectors), 1.0, label=f"{prefix}_at_least_one")
+    return selectors
+
+
+def add_equivalence_conjunction(
+    model: IntegerProgram,
+    indicator: LinExpr,
+    conjuncts: Sequence[Tuple[LinExpr, float]],
+    prefix: str,
+) -> None:
+    """Add ``indicator = 1  <=>  AND_i (expr_i >= rhs_i)`` for integer expressions.
+
+    Forward direction (``=>``): each conjunct is forced when the indicator is
+    set, via :func:`add_implication_ge`.
+
+    Backward direction: if every conjunct holds the indicator must be 1.  Its
+    contrapositive "indicator = 0 implies some conjunct is violated" is
+    encoded with one extra binary per conjunct: ``sum_i y_i >= 1 - s`` and
+    ``y_i = 1 => expr_i <= rhs_i - 1`` (strict violation, the expressions
+    being integral).
+    """
+
+    indicator = as_expr(indicator)
+    for i, (expr, rhs) in enumerate(conjuncts):
+        add_implication_ge(model, indicator, as_expr(expr), rhs, label=f"{prefix}_fw_{i}")
+    violations: List[LinExpr] = []
+    for i, (expr, rhs) in enumerate(conjuncts):
+        y = model.add_binary(f"{prefix}_viol_{i}")
+        violations.append(y)
+        add_implication_le(
+            model, y, as_expr(expr), rhs - INTEGER_EPS, label=f"{prefix}_bw_{i}"
+        )
+    # sum_i y_i + indicator >= 1
+    model.add_ge(LinExpr.sum(violations) + indicator, 1.0, label=f"{prefix}_bw_cover")

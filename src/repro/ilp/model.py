@@ -1,0 +1,283 @@
+"""An integer-linear-program container with named variables and constraints.
+
+The paper's contribution is the *formulation* (which variables, which
+constraints, how logical operators are linearized), not the solver.  This
+module provides the neutral model object those formulations are written
+against; backends (:mod:`repro.ilp.scipy_backend`, the pure-Python branch and
+bound of :mod:`repro.ilp.branch_bound`) consume it.
+
+Constraints are stored in the normal form ``lo <= expr <= hi`` where either
+bound may be ``None``.  Convenience methods (:meth:`IntegerProgram.add_le`,
+``add_ge``, ``add_eq``) accept :class:`~repro.ilp.expressions.LinExpr`
+objects and scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from .expressions import LinExpr, as_expr
+
+__all__ = ["VariableKind", "VariableDef", "Constraint", "IntegerProgram"]
+
+
+class VariableKind:
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+@dataclass(frozen=True)
+class VariableDef:
+    """Definition of a decision variable."""
+
+    name: str
+    lower: float
+    upper: float
+    kind: str = VariableKind.INTEGER
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ModelError(
+                f"variable {self.name!r}: lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in (VariableKind.INTEGER, VariableKind.BINARY)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``lo <= expr <= hi`` (either bound may be None)."""
+
+    expr: LinExpr
+    lower: Optional[float]
+    upper: Optional[float]
+    label: str = ""
+
+    def satisfied_by(self, assignment: Mapping[str, float], tol: float = 1e-6) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.lower is not None and value < self.lower - tol:
+            return False
+        if self.upper is not None and value > self.upper + tol:
+            return False
+        return True
+
+
+class IntegerProgram:
+    """A named collection of variables, linear constraints and one objective."""
+
+    def __init__(self, name: str = "intlp") -> None:
+        self.name = name
+        self._vars: Dict[str, VariableDef] = {}
+        self._constraints: List[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: str = "min"
+
+    # ------------------------------------------------------------------ #
+    # Variables
+    # ------------------------------------------------------------------ #
+    def add_variable(
+        self,
+        name: str,
+        lower: float,
+        upper: float,
+        kind: str = VariableKind.INTEGER,
+    ) -> LinExpr:
+        """Declare a variable and return it as a :class:`LinExpr` term."""
+
+        if name in self._vars:
+            raise ModelError(f"duplicate variable {name!r} in model {self.name!r}")
+        self._vars[name] = VariableDef(name, float(lower), float(upper), kind)
+        return LinExpr.term(name)
+
+    def add_integer(self, name: str, lower: float, upper: float) -> LinExpr:
+        return self.add_variable(name, lower, upper, VariableKind.INTEGER)
+
+    def add_binary(self, name: str) -> LinExpr:
+        return self.add_variable(name, 0, 1, VariableKind.BINARY)
+
+    def add_continuous(self, name: str, lower: float, upper: float) -> LinExpr:
+        return self.add_variable(name, lower, upper, VariableKind.CONTINUOUS)
+
+    def has_variable(self, name: str) -> bool:
+        return name in self._vars
+
+    def variable(self, name: str) -> VariableDef:
+        try:
+            return self._vars[name]
+        except KeyError as exc:
+            raise ModelError(f"unknown variable {name!r}") from exc
+
+    def variables(self) -> Sequence[VariableDef]:
+        return tuple(self._vars.values())
+
+    def variable_bounds(self) -> Dict[str, Tuple[float, float]]:
+        return {v.name: (v.lower, v.upper) for v in self._vars.values()}
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._vars)
+
+    @property
+    def num_integer_variables(self) -> int:
+        return sum(1 for v in self._vars.values() if v.is_integer)
+
+    @property
+    def num_binary_variables(self) -> int:
+        return sum(1 for v in self._vars.values() if v.kind == VariableKind.BINARY)
+
+    # ------------------------------------------------------------------ #
+    # Constraints
+    # ------------------------------------------------------------------ #
+    def _check_expr(self, expr: LinExpr) -> None:
+        for name in expr.terms:
+            if name not in self._vars:
+                raise ModelError(
+                    f"constraint references unknown variable {name!r} in model {self.name!r}"
+                )
+
+    def add_constraint(
+        self,
+        expr: "LinExpr | str | float",
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+        label: str = "",
+    ) -> Constraint:
+        expr = as_expr(expr)
+        self._check_expr(expr)
+        if lower is None and upper is None:
+            raise ModelError("a constraint needs at least one bound")
+        constraint = Constraint(expr, lower, upper, label)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_le(self, expr, rhs: float, label: str = "") -> Constraint:
+        """Add ``expr <= rhs``."""
+
+        return self.add_constraint(as_expr(expr), None, float(rhs), label)
+
+    def add_ge(self, expr, rhs: float, label: str = "") -> Constraint:
+        """Add ``expr >= rhs``."""
+
+        return self.add_constraint(as_expr(expr), float(rhs), None, label)
+
+    def add_eq(self, expr, rhs: float, label: str = "") -> Constraint:
+        """Add ``expr == rhs``."""
+
+        return self.add_constraint(as_expr(expr), float(rhs), float(rhs), label)
+
+    def constraints(self) -> Sequence[Constraint]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------ #
+    # Objective
+    # ------------------------------------------------------------------ #
+    def maximize(self, expr) -> None:
+        expr = as_expr(expr)
+        self._check_expr(expr)
+        self._objective = expr
+        self._sense = "max"
+
+    def minimize(self, expr) -> None:
+        expr = as_expr(expr)
+        self._check_expr(expr)
+        self._objective = expr
+        self._sense = "min"
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def sense(self) -> str:
+        return self._sense
+
+    # ------------------------------------------------------------------ #
+    # Matrix export (consumed by the backends)
+    # ------------------------------------------------------------------ #
+    def to_arrays(self):
+        """Export as dense arrays ``(names, c, A, cl, cu, lb, ub, integrality)``.
+
+        The objective is always returned in *minimization* form (negated when
+        the model maximizes); ``cl``/``cu`` are the per-row constraint bounds
+        with +/-inf for missing ones.  Model sizes in this library are a few
+        thousand cells at most, so a dense matrix is simpler and fast enough;
+        the scipy backend converts to sparse for HiGHS.
+        """
+
+        names = list(self._vars.keys())
+        index = {n: i for i, n in enumerate(names)}
+        nvar = len(names)
+        ncon = len(self._constraints)
+
+        c = np.zeros(nvar)
+        for name, coeff in self._objective.terms.items():
+            c[index[name]] = coeff
+        if self._sense == "max":
+            c = -c
+
+        A = np.zeros((ncon, nvar))
+        cl = np.full(ncon, -np.inf)
+        cu = np.full(ncon, np.inf)
+        for row, con in enumerate(self._constraints):
+            for name, coeff in con.expr.terms.items():
+                A[row, index[name]] = coeff
+            offset = con.expr.constant
+            if con.lower is not None:
+                cl[row] = con.lower - offset
+            if con.upper is not None:
+                cu[row] = con.upper - offset
+
+        lb = np.array([v.lower for v in self._vars.values()])
+        ub = np.array([v.upper for v in self._vars.values()])
+        integrality = np.array(
+            [1 if v.is_integer else 0 for v in self._vars.values()]
+        )
+        return names, c, A, cl, cu, lb, ub, integrality
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def check_assignment(self, assignment: Mapping[str, float], tol: float = 1e-6) -> List[str]:
+        """List of constraint labels violated by *assignment* (bounds included)."""
+
+        problems: List[str] = []
+        for var in self._vars.values():
+            value = assignment.get(var.name)
+            if value is None:
+                problems.append(f"variable {var.name!r} not assigned")
+                continue
+            if value < var.lower - tol or value > var.upper + tol:
+                problems.append(
+                    f"variable {var.name!r}={value} outside [{var.lower}, {var.upper}]"
+                )
+        for i, con in enumerate(self._constraints):
+            if not con.satisfied_by(assignment, tol):
+                problems.append(con.label or f"constraint #{i}")
+        return problems
+
+    def statistics(self) -> Dict[str, int]:
+        """Model size summary used by the intLP-size experiment."""
+
+        return {
+            "variables": self.num_variables,
+            "integer_variables": self.num_integer_variables,
+            "binary_variables": self.num_binary_variables,
+            "constraints": self.num_constraints,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IntegerProgram({self.name!r}, vars={self.num_variables}, "
+            f"constraints={self.num_constraints}, sense={self._sense})"
+        )

@@ -1,0 +1,61 @@
+"""Solver results for the integer-programming substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = ["SolveStatus", "Solution"]
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an intLP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An intLP solution (or the reason there is none).
+
+    ``values`` maps variable names to their (rounded) values; integer
+    variables are reported as Python ints so the downstream graph code never
+    sees floating point noise.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Mapping[str, float] = field(default_factory=dict)
+    solver: str = "unknown"
+    wall_time: float = 0.0
+    nodes_explored: int = 0
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT) and bool(
+            self.values
+        )
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def int_value(self, name: str, default: int = 0) -> int:
+        return int(round(self.values.get(name, default)))
+
+    def subset(self, prefix: str) -> Dict[str, float]:
+        """All variable values whose name starts with *prefix* (e.g. ``sigma_``)."""
+
+        return {k: v for k, v in self.values.items() if k.startswith(prefix)}

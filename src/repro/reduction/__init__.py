@@ -1,0 +1,88 @@
+"""Register-saturation reduction: adding serial arcs to fit a register budget.
+
+Public entry points:
+
+* :func:`reduce_saturation` -- dispatch between the value-serialization
+  heuristic and the optimal intLP method of Section 4;
+* :func:`reduce_saturation_heuristic` -- the heuristic the paper evaluates
+  (``RS*`` / ``ILP*`` in Section 5);
+* :func:`reduce_saturation_exact` -- the optimal method (register-
+  constrained scheduling + Theorem-4.2 serialization);
+* :func:`minimize_register_need` -- the Section-6 minimization baseline;
+* :func:`solve_src` -- the underlying "scheduling under register
+  constraints" solver;
+* the serialization primitives shared by all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import DDG
+from ..core.machine import ProcessorModel
+from ..core.types import RegisterType, canonical_type
+from .exact_ilp import (
+    build_reduction_program,
+    reduce_saturation_exact,
+    serialize_from_schedule,
+    solve_src,
+)
+from .heuristic import reduce_saturation_heuristic
+from .minimization import minimize_register_need
+from .result import ReductionResult
+from .serialization import (
+    SerializationMode,
+    apply_serialization,
+    has_positive_circuit,
+    is_schedulable,
+    legal_serialization,
+    serialization_edges,
+    serialization_latency,
+    would_remain_acyclic,
+)
+
+__all__ = [
+    "ReductionResult",
+    "reduce_saturation",
+    "reduce_saturation_heuristic",
+    "reduce_saturation_exact",
+    "minimize_register_need",
+    "solve_src",
+    "serialize_from_schedule",
+    "build_reduction_program",
+    "SerializationMode",
+    "serialization_edges",
+    "serialization_latency",
+    "apply_serialization",
+    "legal_serialization",
+    "would_remain_acyclic",
+    "is_schedulable",
+    "has_positive_circuit",
+]
+
+
+def reduce_saturation(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    registers: int,
+    method: str = "heuristic",
+    machine: Optional[ProcessorModel] = None,
+    time_limit: Optional[float] = None,
+) -> ReductionResult:
+    """Reduce the register saturation of *rtype* below *registers*.
+
+    ``method`` is ``"heuristic"`` (value serialization, default) or
+    ``"exact"`` (the Section-4 intLP).  Both return a
+    :class:`ReductionResult`; the exact method raises
+    :class:`~repro.errors.SpillRequiredError` when the budget is
+    unreachable, while the heuristic reports ``success=False``.
+    """
+
+    rtype = canonical_type(rtype)
+    if method == "heuristic":
+        return reduce_saturation_heuristic(ddg, rtype, registers, machine=machine)
+    if method == "exact":
+        return reduce_saturation_exact(
+            ddg, rtype, registers, machine=machine, time_limit=time_limit
+        )
+    raise ValueError(f"unknown reduction method {method!r}; expected heuristic/exact")

@@ -1,0 +1,99 @@
+"""Result objects of the register-saturation reduction pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.graph import DDG, Edge
+from ..core.types import RegisterType
+
+__all__ = ["ReductionResult"]
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """Outcome of reducing the register saturation below a register budget.
+
+    Attributes
+    ----------
+    rtype:
+        Register type whose saturation was reduced.
+    target:
+        The register budget ``R_t``.
+    success:
+        True when the extended graph's saturation is (believed) at most the
+        target.  ``achieved_rs`` carries the value actually measured by the
+        method that produced the result.
+    original_rs / achieved_rs:
+        Saturation (as measured by the producing method) before and after
+        adding the serial arcs.
+    extended_ddg:
+        The extended graph ``G-bar = G + extra arcs``; equal to the input
+        graph when nothing had to be done.
+    added_edges:
+        The serial arcs that were introduced.
+    critical_path_before / critical_path_after:
+        Critical path (longest accumulated latency) before and after; their
+        difference is the *ILP loss* the paper's Section 5 reports.
+    method:
+        ``"value-serialization"`` for the heuristic, ``"intlp"`` for the
+        optimal method, ``"minimization"`` for the Section-6 baseline.
+    optimal:
+        True when the method proves its solution optimal (the intLP).
+    wall_time / details:
+        Timing and free-form extras.
+    """
+
+    rtype: RegisterType
+    target: int
+    success: bool
+    original_rs: int
+    achieved_rs: int
+    extended_ddg: DDG
+    added_edges: Tuple[Edge, ...] = ()
+    critical_path_before: int = 0
+    critical_path_after: int = 0
+    method: str = "unknown"
+    optimal: bool = False
+    wall_time: float = 0.0
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "added_edges", tuple(self.added_edges))
+        object.__setattr__(self, "details", dict(self.details))
+
+    @property
+    def ilp_loss(self) -> int:
+        """Increase of the critical path caused by the added serial arcs.
+
+        This is the quantity written ``ILP`` (optimal) / ``ILP*`` (heuristic)
+        in the paper's Section 5: the price paid, in instruction-level
+        parallelism, for fitting into the register budget.
+        """
+
+        return self.critical_path_after - self.critical_path_before
+
+    @property
+    def arcs_added(self) -> int:
+        return len(self.added_edges)
+
+    @property
+    def reduction_needed(self) -> bool:
+        """False when the original saturation already fit the budget."""
+
+        return self.original_rs > self.target
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "rtype": self.rtype.name,
+            "target": self.target,
+            "success": self.success,
+            "original_rs": self.original_rs,
+            "achieved_rs": self.achieved_rs,
+            "arcs_added": self.arcs_added,
+            "ilp_loss": self.ilp_loss,
+            "method": self.method,
+            "optimal": self.optimal,
+            "wall_time": self.wall_time,
+        }

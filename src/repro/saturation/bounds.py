@@ -1,0 +1,78 @@
+"""Cheap lower and upper bounds on the register saturation.
+
+The paper opens Section 3 with the trivial observation that no schedule can
+ever need more than ``|V_{R,t}|`` registers of a type, so when that count is
+at most ``R_t`` no analysis is needed at all.  On the other side, the
+register need of any concrete schedule (ASAP, or a lifetime-stretching
+schedule) is a lower bound of the saturation.  These bounds bracket the
+exact value, give the test-suite its sandwich invariants, and let the
+experiment harness skip intLP solves that cannot change a conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..analysis.graphalgo import asap_times, critical_path_length
+from ..core.graph import DDG
+from ..core.lifetime import register_need
+from ..core.schedule import asap_schedule, list_schedule_priority, sequential_schedule
+from ..core.types import RegisterType, canonical_type
+
+__all__ = ["SaturationBounds", "saturation_bounds", "trivially_within_budget"]
+
+
+@dataclass(frozen=True)
+class SaturationBounds:
+    """A sandwich ``lower <= RS_t(G) <= upper``."""
+
+    rtype: RegisterType
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:  # pragma: no cover - defensive
+            raise ValueError("lower bound exceeds upper bound")
+
+    @property
+    def is_tight(self) -> bool:
+        return self.lower == self.upper
+
+
+def saturation_bounds(ddg: DDG, rtype: RegisterType | str) -> SaturationBounds:
+    """Compute cheap lower/upper bounds of the register saturation of *rtype*."""
+
+    rtype = canonical_type(rtype)
+    g = ddg.with_bottom()
+    values = g.values(rtype)
+    upper = len(values)
+    if upper == 0:
+        return SaturationBounds(rtype, 0, 0)
+
+    lower = register_need(g, asap_schedule(g), rtype)
+
+    # A schedule that issues value producers eagerly and value consumers
+    # lazily stretches lifetimes and usually produces a better lower bound.
+    asap = asap_times(g)
+    horizon = critical_path_length(g) + 1
+
+    def stretch_priority(node: str) -> float:
+        op = g.operation(node)
+        produces = 1.0 if op.defines(rtype) else 0.0
+        consumes = 1.0 if any(
+            e.is_flow and e.rtype == rtype for e in g.in_edges(node)
+        ) else 0.0
+        return produces * horizon - consumes * horizon - asap[node]
+
+    stretched = list_schedule_priority(g, stretch_priority)
+    lower = max(lower, register_need(g, stretched, rtype))
+    lower = max(lower, register_need(g, sequential_schedule(g), rtype))
+    return SaturationBounds(rtype, lower, upper)
+
+
+def trivially_within_budget(ddg: DDG, rtype: RegisterType | str, registers: int) -> bool:
+    """The paper's early exit: when ``|V_{R,t}| <= R_t`` no schedule can overflow."""
+
+    rtype = canonical_type(rtype)
+    return len(ddg.values(rtype)) <= registers

@@ -1,0 +1,155 @@
+"""The disjoint-value DAG ``DV_k(G)`` and the values it lets live together.
+
+Given a valid killing function ``k``, the *disjoint-value DAG* orders the
+values whose lifetimes can never overlap once the killing choices are
+enforced: there is an arc ``u^t -> v^t`` when, in **every** schedule of the
+killed graph ``G->k``, the value ``v^t`` is written no earlier than the
+death of ``u^t`` (which happens at the read of ``k(u^t)``).  Formally we use
+the longest-path test::
+
+    u^t -> v^t    iff    lp_{G->k}(k(u^t), v)  >=  delta_r(k(u^t)) - delta_w(v)
+
+so that ``sigma(v) + delta_w(v) >= sigma(k(u)) + delta_r(k(u))`` holds for
+every valid schedule of ``G->k``.
+
+Two values that are *incomparable* in ``DV_k`` can be made simultaneously
+alive by some schedule of ``G->k``; the values that can all be alive at the
+same instant therefore form an antichain, and the register saturation
+restricted to the killing function ``k`` is the size of a maximum antichain
+of ``DV_k``.  Maximising over valid killing functions yields the register
+saturation itself -- that is exactly what the Greedy-k heuristic
+approximates and what the exhaustive oracle of
+:mod:`repro.saturation.enumeration` computes on small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..analysis.antichain import maximum_antichain
+from ..analysis.graphalgo import NEG_INF, longest_paths_from
+from ..core.graph import DDG
+from ..core.types import RegisterType, Value, canonical_type
+from .pkill import KillingFunction, killed_graph
+
+__all__ = ["DisjointValueDAG", "disjoint_value_dag", "saturating_antichain"]
+
+
+@dataclass(frozen=True)
+class DisjointValueDAG:
+    """The disjoint-value DAG of a killing function.
+
+    ``edges`` holds the direct "dies before the definition of" relation and
+    ``closure`` its transitive closure (the strict partial order on which
+    antichains are computed).
+    """
+
+    rtype: RegisterType
+    values: Tuple[Value, ...]
+    edges: FrozenSet[Tuple[Value, Value]]
+    closure: FrozenSet[Tuple[Value, Value]]
+
+    def successors(self, value: Value) -> List[Value]:
+        return [v for (u, v) in self.edges if u == value]
+
+    def comparable(self, a: Value, b: Value) -> bool:
+        return (a, b) in self.closure or (b, a) in self.closure
+
+    def maximum_antichain(self) -> List[Value]:
+        """A maximum antichain of the DAG (the candidate saturating values)."""
+
+        return maximum_antichain(self.values, self.closure)
+
+    @property
+    def width(self) -> int:
+        """The Dilworth width of the DAG = the saturation under this killing function."""
+
+        return len(self.maximum_antichain())
+
+
+def _transitive_closure(
+    values: Sequence[Value], edges: Set[Tuple[Value, Value]]
+) -> Set[Tuple[Value, Value]]:
+    succ: Dict[Value, Set[Value]] = {v: set() for v in values}
+    for u, v in edges:
+        succ[u].add(v)
+    closure: Set[Tuple[Value, Value]] = set()
+    for start in values:
+        stack = list(succ[start])
+        seen: Set[Value] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            closure.add((start, node))
+            stack.extend(succ[node])
+    return closure
+
+
+def disjoint_value_dag(
+    ddg: DDG,
+    kf: KillingFunction,
+    killed: Optional[DDG] = None,
+) -> DisjointValueDAG:
+    """Build ``DV_k(G)`` for the killing function *kf*.
+
+    Parameters
+    ----------
+    ddg:
+        The original DDG (used for the value set and the write offsets).
+    kf:
+        A killing function for one register type.  It should be valid; a
+        cyclic killed graph raises through the topological sort.
+    killed:
+        The killed graph ``G->k`` if the caller already built it (avoids a
+        recomputation inside loops over candidate killing functions).
+    """
+
+    rtype = kf.rtype
+    values = tuple(sorted(ddg.values(rtype)))
+    if killed is None:
+        killed = killed_graph(ddg, kf)
+
+    # Longest paths are only needed from killer nodes.
+    killers = sorted({killer for killer in kf.mapping.values()})
+    lp_from_killer: Dict[str, Mapping[str, float]] = {
+        killer: longest_paths_from(killed, killer) for killer in killers
+    }
+
+    edges: Set[Tuple[Value, Value]] = set()
+    for u in values:
+        killer = kf.killer(u)
+        if killer is None:
+            # A value without consumers dies immediately: every other value
+            # defined later is unordered with it only if it can be defined
+            # before u's birth; without a killer we conservatively leave it
+            # incomparable (no edge), which can only overestimate the
+            # antichain of this particular killing function but never the
+            # saturation itself (the exact methods do not rely on this).
+            continue
+        killer_read = ddg.operation(killer).delta_r
+        reach = lp_from_killer[killer]
+        for v in values:
+            if v == u:
+                continue
+            dist = reach[v.node]
+            if dist == NEG_INF:
+                continue
+            if dist >= killer_read - ddg.operation(v.node).delta_w:
+                edges.add((u, v))
+
+    closure = _transitive_closure(values, edges)
+    return DisjointValueDAG(rtype, values, frozenset(edges), frozenset(closure))
+
+
+def saturating_antichain(
+    ddg: DDG,
+    kf: KillingFunction,
+    killed: Optional[DDG] = None,
+) -> Tuple[List[Value], DisjointValueDAG]:
+    """Maximum antichain of ``DV_k(G)`` together with the DAG itself."""
+
+    dag = disjoint_value_dag(ddg, kf, killed)
+    return dag.maximum_antichain(), dag

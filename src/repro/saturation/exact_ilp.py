@@ -1,0 +1,368 @@
+"""Exact register saturation by integer linear programming (paper Section 3).
+
+The formulation follows the paper variable-for-variable:
+
+* **Scheduling variables** -- one bounded integer ``sigma_u`` per operation,
+  constrained by every precedence arc (``sigma_v - sigma_u >= delta(e)``)
+  and by the worst total schedule time ``T = sum_e delta(e)``; O(n)
+  variables, O(m) constraints.
+* **Killing dates** -- one bounded integer ``k_{u^t}`` per value, equal to
+  the maximum of ``sigma_v + delta_r(v)`` over its consumers; the ``max`` is
+  linearized with one selector binary per consumer (O(n^2) variables and
+  constraints in total).
+* **Interference binaries** -- ``s^t_{u,v}`` for every unordered pair of
+  values, with ``s = 1  <=>  the two lifetime intervals interfere``, i.e.
+  the conjunction ``k_u >= sigma_v + delta_w(v) + 1  and  k_v >= sigma_u +
+  delta_w(u) + 1`` linearized with the helpers of :mod:`repro.ilp.logical`;
+  O(n^2) binaries and constraints.
+* **Independent-set variables** -- ``x_{u^t}`` binary, with the constraint
+  ``s_{u,v} = 0  =>  x_u + x_v <= 1`` written directly as
+  ``x_u + x_v - s_{u,v} <= 1``; the register saturation is the maximum of
+  ``sum_u x_u`` (a maximum clique of the interference graph, i.e. a maximum
+  independent set of its complement).
+
+Overall the model has O(n^2) integer variables and O(m + n^2) constraints --
+the size claim checked by ``benchmarks/bench_ilp_size.py``.
+
+The scheduling + killing-date + interference part of the model (the
+*interference core*) is shared with the optimal reduction intLP of
+Section 4 (:mod:`repro.reduction.exact_ilp`), which replaces the
+independent-set block by register-assignment variables.
+
+The two optimisations suggested at the end of Section 3 are implemented and
+enabled by default:
+
+* serial arcs whose scheduling constraint is implied by a longer parallel
+  path are skipped;
+* pairs of values that can never be simultaneously alive (one is always
+  defined after the other's killing date, detected with longest paths) get
+  their ``s`` variable fixed to zero, which removes the associated
+  equivalence machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..analysis.graphalgo import (
+    NEG_INF,
+    asap_times,
+    longest_path_matrix,
+    longest_path_to_sinks,
+    worst_case_total_time,
+)
+from ..core.graph import DDG
+from ..core.lifetime import register_need
+from ..core.schedule import Schedule
+from ..core.types import RegisterType, Value, canonical_type
+from ..errors import SolverError
+from ..ilp import (
+    IntegerProgram,
+    LinExpr,
+    Solution,
+    SolveStatus,
+    add_equivalence_conjunction,
+    add_max_equality,
+    solve,
+)
+from .result import SaturationResult
+
+__all__ = [
+    "RSModelInfo",
+    "build_interference_core",
+    "build_rs_program",
+    "exact_saturation",
+    "never_simultaneously_alive",
+]
+
+
+class RSModelInfo:
+    """Bookkeeping attached to a register-pressure intLP.
+
+    Keeps the variable-name conventions in one place so both the saturation
+    model (Section 3) and the reduction model (Section 4) can translate
+    solver output back into schedules, lifetimes and alive sets.
+    """
+
+    def __init__(self, ddg: DDG, rtype: RegisterType, horizon: int) -> None:
+        self.ddg = ddg
+        self.rtype = rtype
+        self.horizon = horizon
+        self.values: List[Value] = sorted(ddg.values(rtype))
+        self.sigma_names: Dict[str, str] = {
+            node: f"sigma[{node}]" for node in ddg.nodes()
+        }
+        self.kill_names: Dict[Value, str] = {
+            v: f"kill[{v.node}]" for v in self.values
+        }
+        #: pairs (u, v) -> name of the interference binary s_{u,v}
+        self.interference_names: Dict[Tuple[Value, Value], str] = {}
+        #: pairs statically proven to never interfere (s fixed to 0)
+        self.fixed_noninterfering: Set[Tuple[Value, Value]] = set()
+        #: value -> name of the independent-set binary (Section 3 model only)
+        self.independent_names: Dict[Value, str] = {
+            v: f"alive[{v.node}]" for v in self.values
+        }
+
+    def sigma(self, node: str) -> str:
+        return self.sigma_names[node]
+
+    def kill(self, value: Value) -> str:
+        return self.kill_names[value]
+
+    def value_pairs(self):
+        """All unordered value pairs in a deterministic order."""
+
+        for i, u in enumerate(self.values):
+            for v in self.values[i + 1:]:
+                yield u, v
+
+    def schedule_from(self, solution: Solution) -> Schedule:
+        times = {
+            node: solution.int_value(name) for node, name in self.sigma_names.items()
+        }
+        return Schedule(times, self.ddg.name)
+
+    def alive_values_from(self, solution: Solution) -> List[Value]:
+        return [
+            v
+            for v, name in self.independent_names.items()
+            if solution.int_value(name) == 1
+        ]
+
+
+def never_simultaneously_alive(
+    ddg: DDG,
+    a: Value,
+    b: Value,
+    lp: Mapping[str, Mapping[str, float]],
+) -> bool:
+    """Static test that two values can never have interfering lifetimes.
+
+    This is the second optimisation of Section 3: the pair is ordered for
+    every schedule when all consumers of one value are separated from the
+    definition of the other by a long enough path::
+
+        forall v' in Cons(v): lp(v', u) >= delta_r(v') - delta_w(u)
+        or
+        forall u' in Cons(u): lp(u', v) >= delta_r(u') - delta_w(v)
+    """
+
+    def ordered_after(first: Value, second: Value) -> bool:
+        # True when `second` is always defined after `first`'s killing date.
+        consumers = ddg.consumers(first.node, first.rtype)
+        if not consumers:
+            return False
+        target_write = ddg.operation(second.node).delta_w
+        for reader in consumers:
+            need = ddg.operation(reader).delta_r - target_write
+            dist = lp[reader][second.node]
+            if dist == NEG_INF or dist < need:
+                return False
+        return True
+
+    return ordered_after(a, b) or ordered_after(b, a)
+
+
+def build_interference_core(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    horizon: Optional[int] = None,
+    prune_redundant_arcs: bool = True,
+    prune_noninterfering_pairs: bool = True,
+    name: str = "rs-core",
+) -> Tuple[IntegerProgram, RSModelInfo]:
+    """Build the scheduling + killing-date + interference part of the intLP.
+
+    The returned program contains, for the bottom-normalised copy of *ddg*:
+
+    * one integer ``sigma`` variable per operation with ASAP/ALAP bounds and
+      one precedence constraint per (non-redundant) arc;
+    * one integer killing-date variable per value of *rtype*, tied to the
+      consumers' read dates through the linearized ``max`` operator;
+    * one binary interference variable per pair of values not statically
+      proven non-interfering, tied to the lifetime intervals through the
+      linearized equivalence.
+
+    No objective is set; callers add either the independent-set block
+    (register saturation) or the register-assignment block (reduction).
+    """
+
+    rtype = canonical_type(rtype)
+    g = ddg.with_bottom()
+    if horizon is None:
+        horizon = worst_case_total_time(g)
+    info = RSModelInfo(g, rtype, horizon)
+    program = IntegerProgram(f"{name}[{g.name}:{rtype.name}]")
+
+    lp = longest_path_matrix(g)
+    asap = asap_times(g)
+    to_sinks = longest_path_to_sinks(g)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling variables and precedence constraints
+    # ------------------------------------------------------------------ #
+    sigma: Dict[str, LinExpr] = {}
+    for node in g.nodes():
+        lower = asap[node]
+        upper = horizon - to_sinks[node]
+        sigma[node] = program.add_integer(info.sigma(node), lower, max(lower, upper))
+
+    for edge in g.edges():
+        if prune_redundant_arcs and not edge.is_flow:
+            # Skip serial arcs implied by a longer parallel path (the matrix
+            # entry already accounts for the best path, so a strict excess
+            # means another path subsumes this arc's constraint).
+            if lp[edge.src][edge.dst] > edge.latency:
+                continue
+        program.add_ge(
+            sigma[edge.dst] - sigma[edge.src],
+            edge.latency,
+            label=f"prec[{edge.src}->{edge.dst}]",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Killing dates (one per value) -- the max operator of the paper
+    # ------------------------------------------------------------------ #
+    kill: Dict[Value, LinExpr] = {}
+    for value in info.values:
+        consumers = g.consumers(value.node, rtype)
+        producer = g.operation(value.node)
+        birth = sigma[value.node] + producer.delta_w
+        if not consumers:
+            # Exit values are consumed by the bottom node after normalisation;
+            # a value that still has no consumer dies at its birth date.
+            var = program.add_integer(info.kill(value), 0, horizon)
+            program.add_eq(var - birth, 0.0, label=f"kill_birth[{value.node}]")
+            kill[value] = var
+            continue
+        lo = min(asap[c] + g.operation(c).delta_r for c in consumers)
+        hi = max(
+            horizon - to_sinks[c] + g.operation(c).delta_r for c in consumers
+        )
+        var = program.add_integer(info.kill(value), lo, max(lo, hi))
+        terms = [sigma[c] + g.operation(c).delta_r for c in consumers]
+        add_max_equality(program, var, terms, prefix=f"kmax[{value.node}]")
+        kill[value] = var
+
+    # ------------------------------------------------------------------ #
+    # Interference binaries
+    # ------------------------------------------------------------------ #
+    for u, v in info.value_pairs():
+        if prune_noninterfering_pairs and never_simultaneously_alive(g, u, v, lp):
+            info.fixed_noninterfering.add((u, v))
+            continue
+        s_name = f"interfere[{u.node},{v.node}]"
+        s = program.add_binary(s_name)
+        info.interference_names[(u, v)] = s_name
+        birth_u = sigma[u.node] + g.operation(u.node).delta_w
+        birth_v = sigma[v.node] + g.operation(v.node).delta_w
+        # s = 1  <=>  k_u > birth_v  and  k_v > birth_u
+        add_equivalence_conjunction(
+            program,
+            s,
+            [
+                (kill[u] - birth_v, 1.0),
+                (kill[v] - birth_u, 1.0),
+            ],
+            prefix=f"eqv[{u.node},{v.node}]",
+        )
+    return program, info
+
+
+def build_rs_program(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    horizon: Optional[int] = None,
+    prune_redundant_arcs: bool = True,
+    prune_noninterfering_pairs: bool = True,
+) -> Tuple[IntegerProgram, RSModelInfo]:
+    """Build the Section-3 intLP maximising the register need of type *rtype*.
+
+    The DDG is normalised with the bottom node internally.  Returns the model
+    together with the :class:`RSModelInfo` naming helper.
+    """
+
+    program, info = build_interference_core(
+        ddg,
+        rtype,
+        horizon=horizon,
+        prune_redundant_arcs=prune_redundant_arcs,
+        prune_noninterfering_pairs=prune_noninterfering_pairs,
+        name="rs",
+    )
+
+    alive: Dict[Value, LinExpr] = {}
+    for value in info.values:
+        alive[value] = program.add_binary(info.independent_names[value])
+
+    for u, v in info.value_pairs():
+        if (u, v) in info.fixed_noninterfering:
+            # s_{u,v} is the constant 0: the pair can never be in the clique.
+            program.add_le(alive[u] + alive[v], 1.0, label=f"is[{u.node},{v.node}]")
+        else:
+            s = LinExpr.term(info.interference_names[(u, v)])
+            # s_{u,v} = 0  =>  x_u + x_v <= 1
+            program.add_le(
+                alive[u] + alive[v] - s, 1.0, label=f"is[{u.node},{v.node}]"
+            )
+
+    program.maximize(LinExpr.sum(alive.values()))
+    return program, info
+
+
+def exact_saturation(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    horizon: Optional[int] = None,
+    backend: str = "scipy",
+    time_limit: Optional[float] = None,
+    prune: bool = True,
+) -> SaturationResult:
+    """Compute the exact register saturation ``RS_t(G)`` by solving the Section-3 intLP.
+
+    Raises :class:`~repro.errors.SolverError` when the solver cannot prove
+    optimality within the time limit (the experiments treat those instances
+    separately, as the paper does for its multi-day CPLEX runs).
+    """
+
+    start = time.perf_counter()
+    rtype = canonical_type(rtype)
+    if not ddg.values(rtype):
+        return SaturationResult(rtype, 0, method="intlp", optimal=True,
+                                wall_time=time.perf_counter() - start)
+    program, info = build_rs_program(
+        ddg,
+        rtype,
+        horizon=horizon,
+        prune_redundant_arcs=prune,
+        prune_noninterfering_pairs=prune,
+    )
+    solution = solve(program, backend=backend, time_limit=time_limit, require_feasible=True)
+    if solution.status is not SolveStatus.OPTIMAL:
+        raise SolverError(
+            f"register saturation intLP not solved to optimality "
+            f"(status={solution.status.value}) for {ddg.name!r}"
+        )
+    schedule = info.schedule_from(solution)
+    alive = info.alive_values_from(solution)
+    rs = int(round(solution.objective or 0))
+    # Sanity: the witness schedule must exhibit at least the claimed need.
+    witness_need = register_need(info.ddg, schedule, rtype)
+    return SaturationResult(
+        rtype=rtype,
+        rs=rs,
+        saturating_values=tuple(sorted(alive)),
+        method="intlp",
+        witness_schedule=schedule,
+        optimal=True,
+        wall_time=time.perf_counter() - start,
+        details={
+            "model": program.statistics(),
+            "solver": solution.solver,
+            "solver_time": solution.wall_time,
+            "witness_register_need": witness_need,
+            "horizon": info.horizon,
+        },
+    )

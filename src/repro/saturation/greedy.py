@@ -1,0 +1,311 @@
+"""The Greedy-k heuristic for register-saturation computation.
+
+Computing the register saturation exactly is NP-complete (proved in the
+paper's reference [14]); the heuristic evaluated by the paper's Section 5 --
+and shown there to be "nearly optimal", with a maximal empirical error of
+one register -- works on killing functions:
+
+1. compute the potential killers ``pkill(u^t)`` of every value;
+2. decompose the bipartite *potential-killing graph* (values on one side,
+   their potential killers on the other) into connected components;
+3. inside each component choose a **killing set**: a subset of the killer
+   side that covers every value of the component while dragging as few
+   other values as possible below it (minimising the union of the killers'
+   descendant values) -- those descendants are exactly the values that the
+   killing choice orders *after* the component's values and that therefore
+   cannot enlarge an antichain containing them;
+4. assign each value a killer from the chosen set, yielding a killing
+   function ``k``; build ``DV_k`` and return the size of its maximum
+   antichain.
+
+Small components are solved exactly (exhaustive subset search); large ones
+greedily with a cover-ratio rule.  The implementation additionally evaluates
+a few schedule-induced killing functions (always valid) and keeps the best
+antichain, which can only tighten the approximation: every candidate is a
+valid killing function, so every reported value is a true lower bound of the
+register saturation -- the paper's case ``RS < RS*`` is impossible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..analysis.graphalgo import asap_times, critical_path_length, descendants_map
+from ..core.graph import DDG
+from ..core.lifetime import register_need
+from ..core.schedule import Schedule, asap_schedule, list_schedule_priority
+from ..core.types import BOTTOM, RegisterType, Value, canonical_type
+from .dvk import saturating_antichain
+from .pkill import (
+    KillingFunction,
+    canonical_killing_function,
+    killed_graph,
+    killing_function_from_schedule,
+    potential_killers_map,
+)
+from .result import SaturationResult
+
+__all__ = ["greedy_saturation", "greedy_killing_function"]
+
+#: Components whose killer side is at most this large are solved exhaustively.
+_EXHAUSTIVE_COMPONENT_LIMIT = 10
+
+
+# --------------------------------------------------------------------------- #
+# Killing-set selection
+# --------------------------------------------------------------------------- #
+def _bipartite_components(
+    pk: Mapping[Value, List[str]]
+) -> List[Tuple[List[Value], List[str]]]:
+    """Connected components of the value/potential-killer bipartite graph."""
+
+    value_nodes = [v for v in pk if pk[v]]
+    killer_of: Dict[str, Set[Value]] = {}
+    for value, killers in pk.items():
+        for killer in killers:
+            killer_of.setdefault(killer, set()).add(value)
+
+    seen_values: Set[Value] = set()
+    components: List[Tuple[List[Value], List[str]]] = []
+    for start in value_nodes:
+        if start in seen_values:
+            continue
+        comp_values: Set[Value] = set()
+        comp_killers: Set[str] = set()
+        stack: List[object] = [start]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, Value):
+                if item in comp_values:
+                    continue
+                comp_values.add(item)
+                for killer in pk[item]:
+                    if killer not in comp_killers:
+                        stack.append(killer)
+            else:
+                killer = str(item)
+                if killer in comp_killers:
+                    continue
+                comp_killers.add(killer)
+                for value in killer_of.get(killer, ()):
+                    if value not in comp_values:
+                        stack.append(value)
+        seen_values |= comp_values
+        components.append((sorted(comp_values), sorted(comp_killers)))
+    return components
+
+
+def _descendant_values(
+    desc: Mapping[str, Set[str]], killer: str, value_nodes: Set[str]
+) -> FrozenSet[str]:
+    """Values (by producing node) reachable from *killer*, i.e. ordered after it."""
+
+    return frozenset(desc[killer] & value_nodes)
+
+
+def _cover_cost(
+    killers: Sequence[str],
+    desc_values: Mapping[str, FrozenSet[str]],
+) -> int:
+    union: Set[str] = set()
+    for killer in killers:
+        union |= desc_values[killer]
+    return len(union)
+
+
+def _choose_killing_set(
+    comp_values: Sequence[Value],
+    comp_killers: Sequence[str],
+    pk: Mapping[Value, List[str]],
+    desc_values: Mapping[str, FrozenSet[str]],
+) -> List[str]:
+    """Choose killers covering every value of the component with minimal drag.
+
+    Exhaustive when the killer side is small, greedy (max newly covered
+    values per newly dragged descendant) otherwise.
+    """
+
+    needed = list(comp_values)
+    if len(comp_killers) <= _EXHAUSTIVE_COMPONENT_LIMIT:
+        best: Optional[List[str]] = None
+        best_cost = None
+        for size in range(1, len(comp_killers) + 1):
+            for subset in itertools.combinations(comp_killers, size):
+                chosen = set(subset)
+                if all(any(k in chosen for k in pk[v]) for v in needed):
+                    cost = (_cover_cost(subset, desc_values), size)
+                    if best_cost is None or cost < best_cost:
+                        best_cost = cost
+                        best = list(subset)
+        assert best is not None  # every value has at least one potential killer
+        return best
+
+    uncovered = set(needed)
+    chosen: List[str] = []
+    dragged: Set[str] = set()
+    while uncovered:
+        def score(killer: str) -> Tuple[float, str]:
+            newly_covered = sum(1 for v in uncovered if killer in pk[v])
+            if newly_covered == 0:
+                return (float("inf"), killer)
+            newly_dragged = len(desc_values[killer] - dragged)
+            return (newly_dragged / newly_covered, killer)
+
+        best_killer = min(comp_killers, key=score)
+        chosen.append(best_killer)
+        dragged |= desc_values[best_killer]
+        uncovered = {v for v in uncovered if best_killer not in pk[v]}
+    return chosen
+
+
+def greedy_killing_function(ddg: DDG, rtype: RegisterType | str) -> KillingFunction:
+    """The killing function selected by the Greedy-k heuristic (before fallback)."""
+
+    rtype = canonical_type(rtype)
+    pk = potential_killers_map(ddg, rtype)
+    desc = descendants_map(ddg, include_self=False)
+    value_nodes = {v.node for v in pk}
+    desc_values = {
+        killer: _descendant_values(desc, killer, value_nodes)
+        for killers in pk.values()
+        for killer in killers
+    }
+
+    mapping: Dict[Value, str] = {}
+    for comp_values, comp_killers in _bipartite_components(pk):
+        killing_set = _choose_killing_set(comp_values, comp_killers, pk, desc_values)
+        killing_set_set = set(killing_set)
+        for value in comp_values:
+            candidates = [k for k in pk[value] if k in killing_set_set]
+            # Among the chosen killers able to kill this value, prefer the one
+            # dragging the fewest descendants (ties broken by name).
+            mapping[value] = min(candidates, key=lambda k: (len(desc_values[k]), k))
+    return KillingFunction(rtype, mapping)
+
+
+# --------------------------------------------------------------------------- #
+# Candidate killing functions and the public entry point
+# --------------------------------------------------------------------------- #
+def _keep_alive_schedule(ddg: DDG, rtype: RegisterType) -> Schedule:
+    """A schedule biased towards keeping many values of *rtype* alive.
+
+    Producers of values are issued as early as possible (high priority) and
+    their consumers as late as possible (low priority), which tends to
+    stretch lifetimes and exhibit large register needs -- a cheap witness
+    generator for the heuristic.
+    """
+
+    asap = asap_times(ddg)
+    horizon = critical_path_length(ddg) + 1
+
+    def priority(node: str) -> float:
+        op = ddg.operation(node)
+        producing = 1.0 if op.defines(rtype) else 0.0
+        consuming = 1.0 if any(
+            e.is_flow and e.rtype == rtype for e in ddg.in_edges(node)
+        ) else 0.0
+        return producing * horizon - consuming * horizon - asap[node]
+
+    return list_schedule_priority(ddg, priority)
+
+
+def greedy_saturation(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    extra_candidates: bool = True,
+) -> SaturationResult:
+    """Approximate the register saturation ``RS_t(G)`` with the Greedy-k heuristic.
+
+    Parameters
+    ----------
+    ddg:
+        The data dependence graph.  It is normalised with the bottom node
+        internally so exit values get a killer.
+    rtype:
+        Register type to analyse.
+    extra_candidates:
+        Also evaluate schedule-induced killing functions (ASAP and a
+        keep-alive biased schedule) and keep the best antichain.  This is a
+        cheap polish that never invalidates the lower-bound property.
+
+    Returns
+    -------
+    SaturationResult
+        ``rs`` is the heuristic value RS*; ``saturating_values`` the
+        corresponding antichain; ``killing_function`` the winning killing
+        function.  ``optimal`` is always False here even when the value
+        happens to be exact.
+    """
+
+    start = time.perf_counter()
+    rtype = canonical_type(rtype)
+    g = ddg.with_bottom()
+    values = g.values(rtype)
+    if not values:
+        return SaturationResult(rtype, 0, method="greedy-k", wall_time=time.perf_counter() - start)
+
+    candidates: List[Tuple[str, KillingFunction]] = []
+    greedy_kf = greedy_killing_function(g, rtype)
+    candidates.append(("greedy-k", greedy_kf))
+    if extra_candidates:
+        candidates.append(
+            ("canonical", canonical_killing_function(g, rtype))
+        )
+        candidates.append(
+            ("asap-induced", killing_function_from_schedule(g, asap_schedule(g), rtype))
+        )
+        candidates.append(
+            (
+                "keep-alive-induced",
+                killing_function_from_schedule(g, _keep_alive_schedule(g, rtype), rtype),
+            )
+        )
+
+    best_rs = -1
+    best_antichain: List[Value] = []
+    best_kf: Optional[KillingFunction] = None
+    best_label = "greedy-k"
+    fallback_used = False
+    for label, kf in candidates:
+        killed = killed_graph(g, kf)
+        if not killed.is_acyclic():
+            fallback_used = True
+            continue
+        antichain, _ = saturating_antichain(g, kf, killed)
+        if len(antichain) > best_rs:
+            best_rs = len(antichain)
+            best_antichain = antichain
+            best_kf = kf
+            best_label = label
+
+    if best_kf is None:
+        # Should not happen (schedule-induced functions are always valid) but
+        # stay safe: fall back to the register need of the ASAP schedule.
+        schedule = asap_schedule(g)
+        rn = register_need(g, schedule, rtype)
+        return SaturationResult(
+            rtype,
+            rn,
+            method="greedy-k/fallback-asap",
+            witness_schedule=schedule,
+            wall_time=time.perf_counter() - start,
+            details={"fallback": "no valid killing function"},
+        )
+
+    return SaturationResult(
+        rtype=rtype,
+        rs=best_rs,
+        saturating_values=tuple(sorted(best_antichain)),
+        method="greedy-k",
+        killing_function=dict(best_kf.items()),
+        optimal=False,
+        wall_time=time.perf_counter() - start,
+        details={
+            "winning_candidate": best_label,
+            "candidates_evaluated": len(candidates),
+            "invalid_candidates_skipped": fallback_used,
+            "num_values": len(values),
+        },
+    )

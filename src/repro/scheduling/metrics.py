@@ -1,0 +1,68 @@
+"""Schedule-quality metrics used by the experiments.
+
+The paper's Section 5 compares methods by two quantities: how far the
+register saturation was reduced, and how much instruction-level parallelism
+was lost in the process (the critical-path / makespan increase).  This
+module centralises those measurements so every experiment and benchmark
+reports them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..analysis.graphalgo import critical_path_length
+from ..core.graph import DDG
+from ..core.lifetime import register_need_all_types
+from ..core.machine import ProcessorModel
+from ..core.schedule import Schedule
+from ..core.types import RegisterType, canonical_type
+
+__all__ = ["ScheduleMetrics", "evaluate_schedule", "ilp_loss"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Makespan, register needs and speedup-related figures of one schedule."""
+
+    makespan: int
+    total_time: int
+    register_needs: Dict[str, int]
+    critical_path: int
+
+    @property
+    def slack(self) -> int:
+        """Idle cycles beyond the critical path (0 for a critical-path schedule)."""
+
+        return max(0, self.total_time - self.critical_path)
+
+    def register_need(self, rtype: RegisterType | str) -> int:
+        return self.register_needs.get(canonical_type(rtype).name, 0)
+
+
+def evaluate_schedule(ddg: DDG, schedule: Schedule) -> ScheduleMetrics:
+    """Compute the metrics of *schedule* on *ddg* (bottom-normalised internally)."""
+
+    g = ddg.with_bottom() if not ddg.has_bottom else ddg
+    needs = {
+        rtype.name: need for rtype, need in register_need_all_types(g, schedule).items()
+    }
+    return ScheduleMetrics(
+        makespan=schedule.makespan,
+        total_time=schedule.total_time(g),
+        register_needs=needs,
+        critical_path=critical_path_length(g),
+    )
+
+
+def ilp_loss(original: DDG, extended: DDG) -> int:
+    """Critical-path increase caused by extending *original* into *extended*.
+
+    Both graphs are bottom-normalised before measuring so the figure matches
+    the convention of :class:`repro.reduction.result.ReductionResult`.
+    """
+
+    return critical_path_length(extended.with_bottom()) - critical_path_length(
+        original.with_bottom()
+    )

@@ -1,0 +1,77 @@
+"""Functional-unit resource tracking for the list scheduler.
+
+Register saturation itself is computed *independently of the functional
+unit constraints* -- that is the whole point of the paper's decoupling.  The
+resource model here exists for the *downstream* scheduler of Figure 1: once
+the DDG has been (possibly) extended by the reduction pass, a classic
+resource-constrained list scheduler produces the final schedule, and the
+register allocator runs on it.
+
+The model is intentionally simple and classic: the machine has an issue
+width and a set of functional-unit classes, each with a multiplicity and a
+(fully pipelined) occupancy.  A reservation table records, per cycle, how
+many units of each class and how many issue slots are used.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import DefaultDict, Dict, Iterable, Mapping
+
+from ..core.machine import ProcessorModel
+from ..core.operation import Operation
+
+__all__ = ["ReservationTable"]
+
+
+@dataclass
+class ReservationTable:
+    """Tracks per-cycle functional-unit and issue-slot usage."""
+
+    machine: ProcessorModel
+    _issue: DefaultDict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _units: DefaultDict[str, DefaultDict[int, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+
+    def can_issue(self, op: Operation, cycle: int) -> bool:
+        """True when *op* can be issued at *cycle* without oversubscription."""
+
+        if op.fu_class == "none":
+            return True
+        if self._issue[cycle] >= self.machine.issue_width:
+            return False
+        spec = self.machine.fu_spec(op.fu_class)
+        for c in range(cycle, cycle + spec.occupancy):
+            if self._units[op.fu_class][c] >= spec.count:
+                return False
+        return True
+
+    def issue(self, op: Operation, cycle: int) -> None:
+        """Record the issue of *op* at *cycle* (caller checked :meth:`can_issue`)."""
+
+        if op.fu_class == "none":
+            return
+        self._issue[cycle] += 1
+        spec = self.machine.fu_spec(op.fu_class)
+        for c in range(cycle, cycle + spec.occupancy):
+            self._units[op.fu_class][c] += 1
+
+    def earliest_slot(self, op: Operation, not_before: int, horizon: int = 1 << 20) -> int:
+        """The first cycle ``>= not_before`` at which *op* can be issued."""
+
+        cycle = not_before
+        while cycle < horizon:
+            if self.can_issue(op, cycle):
+                return cycle
+            cycle += 1
+        raise RuntimeError("no issue slot found within the horizon")
+
+    def usage(self, cycle: int) -> Dict[str, int]:
+        """Functional-unit usage at *cycle* (used by the tests)."""
+
+        return {cls: counts[cycle] for cls, counts in self._units.items() if counts[cycle]}
+
+    def issue_count(self, cycle: int) -> int:
+        return self._issue[cycle]

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide a few reference DAGs whose register saturation and
+critical path are known analytically, plus the machines used throughout the
+paper's discussion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes.kernels import figure2_dag
+from repro.core import DDGBuilder, chain_ddg, fork_join_ddg, independent_chains_ddg, superscalar, vliw
+
+
+@pytest.fixture
+def diamond_ddg():
+    """a -> {b, c} -> d with unit latencies: RS(int) = 2 (b and c together)."""
+
+    return (
+        DDGBuilder("diamond")
+        .default_type("int")
+        .value("a", latency=1)
+        .value("b", latency=1)
+        .value("c", latency=1)
+        .op("d", latency=1)
+        .flow("a", "b")
+        .flow("a", "c")
+        .flow("b", "d")
+        .flow("c", "d")
+        .build()
+    )
+
+
+@pytest.fixture
+def fork4_ddg():
+    """One producer feeding four parallel consumers: RS = 4."""
+
+    return fork_join_ddg(4)
+
+
+@pytest.fixture
+def chain5_ddg():
+    """A pure dependence chain of 5 values: RS = 1."""
+
+    return chain_ddg(5)
+
+
+@pytest.fixture
+def chains3x3_ddg():
+    """Three independent chains of 3 values: RS = 3."""
+
+    return independent_chains_ddg(3, 3)
+
+
+@pytest.fixture
+def figure2():
+    """The paper's Figure-2-style example: RS = 4, long-latency value ``a``."""
+
+    return figure2_dag()
+
+
+@pytest.fixture
+def two_types_ddg():
+    """A DAG mixing int and float values (exercises multi-type code paths)."""
+
+    b = DDGBuilder("two-types")
+    b.value("addr", "int", latency=1)
+    b.value("x", "float", latency=4, fu_class="mem")
+    b.value("y", "float", latency=4, fu_class="mem")
+    b.value("prod", "float", latency=4, fu_class="fpu")
+    b.op("st", latency=1, fu_class="mem")
+    b.flow("addr", "x")
+    b.flow("addr", "y")
+    b.flow("x", "prod")
+    b.flow("y", "prod")
+    b.flow("prod", "st")
+    return b.build()
+
+
+@pytest.fixture
+def superscalar_machine():
+    return superscalar(int_registers=8, float_registers=8)
+
+
+@pytest.fixture
+def vliw_machine():
+    return vliw(int_registers=16, float_registers=16)

@@ -1,0 +1,172 @@
+"""Tests for the IR, the dependence analysis, the kernels and the generators."""
+
+import pytest
+
+from repro.codes import (
+    AliasPolicy,
+    Block,
+    benchmark_suite,
+    build_ddg,
+    kernel_suite,
+    layered_random_ddg,
+    random_expression_forest,
+    random_loop_body,
+    random_suite,
+    suite_by_name,
+)
+from repro.codes.ir import Instruction
+from repro.core import validate_ddg
+from repro.core.types import FLOAT, INT
+from repro.errors import IRError
+from repro.saturation import greedy_saturation
+
+
+class TestIR:
+    def test_block_builders(self):
+        b = Block("t")
+        x = b.load("x", "addr", region="x")
+        y = b.fmul("y", x, "c")
+        b.store(y, "out", region="out")
+        assert len(b) == 3
+        assert b.defined_names() == ["x", "y"]
+        assert "c" in b.live_in_names()
+
+    def test_ssa_enforced(self):
+        b = Block("t")
+        b.load("x", "a")
+        with pytest.raises(IRError):
+            b.load("x", "b")
+
+    def test_instruction_defaults(self):
+        i = Instruction("fmul", "d", ("a", "b"))
+        assert i.effective_latency == 4
+        assert i.effective_fu_class == "fpu"
+        assert i.effective_rtype == FLOAT
+        assert Instruction("add", "d", ("a", "b")).effective_rtype == INT
+        assert Instruction("store", None, ("a",)).effective_rtype is None
+
+    def test_custom_latency_and_fu(self):
+        i = Instruction("load", "d", (), latency=9, fu_class="dma")
+        assert i.effective_latency == 9 and i.effective_fu_class == "dma"
+
+    def test_int_and_float_helpers(self):
+        b = Block("t")
+        b.iload("i", "addr")
+        b.add("j", "i", "one")
+        b.mov("k", "j", INT)
+        g = build_ddg(b)
+        assert {t.name for t in g.register_types()} == {"int"}
+
+
+class TestDependenceAnalysis:
+    def test_raw_flow_edges(self):
+        b = Block("t")
+        x = b.load("x", "a", region="a")
+        y = b.fadd("y", x, "c")
+        b.store(y, "out", region="out")
+        g = build_ddg(b)
+        flows = [e for e in g.edges() if e.is_flow]
+        assert len(flows) == 2
+        # flow latency equals the producer latency
+        load_node = next(n for n in g.nodes() if "load" in n)
+        assert all(e.latency == 4 for e in g.out_edges(load_node) if e.is_flow)
+
+    def test_live_in_operands_create_no_edges(self):
+        b = Block("t")
+        b.fadd("y", "ext1", "ext2")
+        g = build_ddg(b)
+        assert g.m == 0
+
+    def test_memory_ordering_same_region(self):
+        b = Block("t")
+        b.store("v", "a", region="r")
+        b.load("x", "a", region="r")
+        g = build_ddg(b)
+        serials = [e for e in g.edges() if e.is_serial]
+        assert len(serials) == 1
+
+    def test_memory_ordering_distinct_regions_independent(self):
+        b = Block("t")
+        b.store("v", "a", region="r1")
+        b.load("x", "b", region="r2")
+        assert build_ddg(b).m == 0
+
+    def test_alias_policies(self):
+        b = Block("t")
+        b.load("x", "a", region="r1")
+        b.store("unrelated", "b", region="r2")
+        # regions policy: different regions are independent
+        assert build_ddg(b, alias_policy=AliasPolicy.REGIONS).m == 0
+        # conservative policy orders the load/store pair anyway
+        assert build_ddg(b, alias_policy=AliasPolicy.CONSERVATIVE).m == 1
+        assert build_ddg(b, alias_policy=AliasPolicy.NONE).m == 0
+
+    def test_load_load_never_ordered(self):
+        b = Block("t")
+        b.load("x", "a", region="r")
+        b.load("y", "a", region="r")
+        assert build_ddg(b).m == 0
+
+    def test_unknown_region_is_conservative(self):
+        b = Block("t")
+        b.store("v", "a")
+        b.store("w", "b")
+        assert build_ddg(b).m == 1
+
+
+class TestKernels:
+    @pytest.mark.parametrize("entry", kernel_suite(), ids=lambda e: e.name)
+    def test_kernels_are_wellformed_dags(self, entry):
+        assert validate_ddg(entry.ddg) == []
+        assert entry.ddg.is_acyclic()
+        assert entry.ddg.n >= 4
+
+    @pytest.mark.parametrize("entry", kernel_suite(), ids=lambda e: e.name)
+    def test_kernels_have_positive_saturation(self, entry):
+        total = sum(
+            greedy_saturation(entry.ddg, t).rs for t in entry.ddg.register_types()
+        )
+        assert total >= 1
+
+    def test_suite_lookup(self):
+        assert suite_by_name("figure2").ddg.n == 8
+        with pytest.raises(KeyError):
+            suite_by_name("does-not-exist")
+
+    def test_figure2_properties(self):
+        from repro.saturation import exact_saturation
+
+        g = suite_by_name("figure2").ddg
+        assert exact_saturation(g, INT).rs == 4
+        assert g.operation("a").latency == 17
+
+    def test_suite_size_filter(self):
+        small = benchmark_suite(include_random=False, max_size=10)
+        assert all(e.size <= 10 for e in small)
+
+
+class TestGenerators:
+    def test_layered_generator_deterministic(self):
+        a = layered_random_ddg(20, seed=5)
+        b = layered_random_ddg(20, seed=5)
+        assert a.n == b.n and a.m == b.m
+        assert sorted(str(e) for e in a.edges()) == sorted(str(e) for e in b.edges())
+
+    def test_layered_generator_different_seeds_differ(self):
+        a = layered_random_ddg(20, seed=5)
+        b = layered_random_ddg(20, seed=6)
+        assert sorted(str(e) for e in a.edges()) != sorted(str(e) for e in b.edges())
+
+    def test_generators_produce_valid_dags(self):
+        for g in (
+            layered_random_ddg(18, seed=1),
+            random_expression_forest(trees=3, depth=3, seed=2),
+            random_loop_body(operations=15, seed=3),
+        ):
+            assert validate_ddg(g) == []
+            assert g.is_acyclic()
+
+    def test_random_suite_reproducible(self):
+        a = [g.name for g in random_suite(count=6, seed=9)]
+        b = [g.name for g in random_suite(count=6, seed=9)]
+        assert a == b and len(a) == 6

@@ -1,0 +1,185 @@
+"""Tests for the DDG data structure (repro.core.graph)."""
+
+import pytest
+
+from repro.core import BOTTOM, DDG, DDGBuilder, Operation
+from repro.core.graph import Edge
+from repro.core.types import DependenceKind, INT, FLOAT
+from repro.errors import CyclicGraphError, GraphError
+
+
+def small_graph():
+    g = DDG("g")
+    g.add_operation(Operation("a", defs=frozenset({INT}), latency=2))
+    g.add_operation(Operation("b", defs=frozenset({INT}), latency=1))
+    g.add_operation(Operation("c", latency=1))
+    g.add_flow_edge("a", "b", INT)
+    g.add_flow_edge("b", "c", INT)
+    g.add_serial_edge("a", "c", latency=0)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = small_graph()
+        assert g.n == 3 and g.m == 3
+        assert len(g) == 3 and "a" in g
+
+    def test_duplicate_operation_rejected(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.add_operation(Operation("a"))
+
+    def test_flow_edge_requires_defined_type(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.add_flow_edge("c", "a", INT)  # c defines nothing
+
+    def test_flow_edge_default_latency_is_producer_latency(self):
+        g = small_graph()
+        edges = g.edges_between("a", "b")
+        assert edges[0].latency == 2
+
+    def test_self_loop_rejected(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.add_serial_edge("a", "a")
+
+    def test_unknown_node_rejected(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.add_serial_edge("a", "zz")
+
+    def test_duplicate_edge_keeps_max_latency(self):
+        g = small_graph()
+        g.add_serial_edge("a", "c", latency=5)
+        g.add_serial_edge("a", "c", latency=2)
+        serial = [e for e in g.edges_between("a", "c") if e.is_serial]
+        assert len(serial) == 1 and serial[0].latency == 5
+
+    def test_parallel_flow_and_serial_edges_coexist(self):
+        g = small_graph()
+        g.add_serial_edge("a", "b", latency=0)
+        assert len(g.edges_between("a", "b")) == 2
+
+    def test_bare_name_with_kwargs(self):
+        g = DDG("x")
+        g.add_operation("n", latency=3, defs=frozenset({FLOAT}))
+        assert g.operation("n").latency == 3
+
+    def test_edge_validation(self):
+        with pytest.raises(GraphError):
+            Edge("a", "b", 1, DependenceKind.FLOW, None)
+        with pytest.raises(GraphError):
+            Edge("a", "b", 1, DependenceKind.SERIAL, INT)
+
+
+class TestQueries:
+    def test_consumers(self):
+        g = small_graph()
+        assert g.consumers("a", INT) == ["b"]
+        assert g.consumers("b", INT) == ["c"]
+
+    def test_values_and_types(self):
+        g = small_graph()
+        assert {v.node for v in g.values(INT)} == {"a", "b"}
+        assert g.register_types() == [INT]
+
+    def test_exit_values(self):
+        g = small_graph()
+        assert [v.node for v in g.exit_values(INT)] == []
+        g2 = DDGBuilder("x").default_type("int").value("a").value("b").flow("a", "b").build()
+        assert [v.node for v in g2.exit_values("int")] == ["b"]
+
+    def test_sources_sinks_degrees(self):
+        g = small_graph()
+        assert g.sources() == ["a"] and g.sinks() == ["c"]
+        assert g.in_degree("c") == 2 and g.out_degree("a") == 2
+
+    def test_successors_predecessors(self):
+        g = small_graph()
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("c")) == {"a", "b"}
+
+    def test_flow_edges_filter(self):
+        g = small_graph()
+        assert sum(1 for _ in g.flow_edges(INT)) == 2
+        assert sum(1 for _ in g.flow_edges(FLOAT)) == 0
+
+
+class TestStructure:
+    def test_topological_order(self):
+        g = small_graph()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detection(self):
+        g = small_graph()
+        g.add_serial_edge("c", "a", latency=0)
+        assert not g.is_acyclic()
+        with pytest.raises(CyclicGraphError):
+            g.topological_order()
+
+    def test_copy_is_independent(self):
+        g = small_graph()
+        h = g.copy()
+        h.add_serial_edge("a", "b", latency=9)
+        assert g.m == 3 and h.m == 4
+
+    def test_remove_edge(self):
+        g = small_graph()
+        edge = g.edges_between("a", "c")[0]
+        g.remove_edge(edge)
+        assert g.m == 2
+        with pytest.raises(GraphError):
+            g.remove_edge(edge)
+
+
+class TestBottom:
+    def test_with_bottom_adds_flow_for_exit_values(self):
+        g = small_graph()
+        gb = g.with_bottom()
+        assert gb.has_bottom
+        # b's value is consumed by c; only b's value? a consumed by b. Exit value
+        # of the original graph: b (c consumes it)... none are exits here, so the
+        # bottom only gets serial arcs.
+        assert BOTTOM in gb.nodes()
+        assert gb.consumers("b", INT) == ["c"]
+        # every original node reaches bottom
+        for node in g.nodes():
+            assert BOTTOM in gb.successors(node)
+
+    def test_with_bottom_exit_value_flow(self):
+        g = DDGBuilder("x").default_type("int").value("a").build()
+        gb = g.with_bottom()
+        assert gb.consumers("a", INT) == [BOTTOM]
+
+    def test_with_bottom_idempotent(self):
+        g = small_graph().with_bottom()
+        again = g.with_bottom()
+        assert again.n == g.n and again.m == g.m
+
+    def test_bottom_serial_latency_is_op_latency(self):
+        g = small_graph().with_bottom()
+        edges = g.edges_between("a", BOTTOM)
+        assert max(e.latency for e in edges) == 2
+
+    def test_without_bottom_roundtrip(self):
+        g = small_graph()
+        back = g.with_bottom().without_bottom()
+        assert back.n == g.n and back.m == g.m
+
+    def test_bottom_is_last_in_topological_order(self):
+        g = small_graph().with_bottom()
+        assert g.topological_order()[-1] == BOTTOM
+
+
+class TestExport:
+    def test_to_networkx(self):
+        g = small_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3 and nxg.number_of_edges() == 3
+
+    def test_summary(self):
+        s = small_graph().summary()
+        assert s["operations"] == 3 and s["values"] == {"int": 2}

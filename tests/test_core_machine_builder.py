@@ -1,0 +1,133 @@
+"""Tests for the processor models, the DDG builder and validation."""
+
+import pytest
+
+from repro.core import (
+    ArchitectureFamily,
+    DDGBuilder,
+    FLOAT,
+    INT,
+    ProcessorModel,
+    chain_ddg,
+    check_ddg,
+    epic,
+    fork_join_ddg,
+    generic_machine,
+    independent_chains_ddg,
+    retarget,
+    superscalar,
+    validate_ddg,
+    vliw,
+)
+from repro.core.machine import FunctionalUnitSpec
+from repro.errors import GraphError
+
+
+class TestMachines:
+    def test_superscalar_preset(self):
+        m = superscalar(int_registers=16)
+        assert m.registers(INT) == 16
+        assert m.family == ArchitectureFamily.SUPERSCALAR
+        assert not m.has_offsets and m.sequential_semantics
+
+    def test_vliw_preset_has_offsets(self):
+        m = vliw()
+        assert m.family == ArchitectureFamily.VLIW
+        assert m.has_offsets
+        assert m.default_write_offset("mem") == 2
+
+    def test_epic_preset(self):
+        m = epic()
+        assert m.registers(FLOAT) == 128 and not m.sequential_semantics
+
+    def test_with_registers_copy(self):
+        m = superscalar()
+        m2 = m.with_registers(INT, 4)
+        assert m2.registers(INT) == 4 and m.registers(INT) == 32
+
+    def test_unknown_register_file(self):
+        with pytest.raises(KeyError):
+            generic_machine(8, "int").registers("float")
+
+    def test_fu_spec_fallback(self):
+        m = superscalar()
+        spec = m.fu_spec("weird-unit")
+        assert spec.count == 1
+
+    def test_invalid_fu_spec(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitSpec("alu", count=0)
+
+    def test_invalid_issue_width(self):
+        with pytest.raises(ValueError):
+            ProcessorModel("m", issue_width=0)
+
+    def test_retarget_stamps_offsets(self):
+        g = (
+            DDGBuilder("g").default_type("float")
+            .value("x", latency=4, fu_class="mem")
+            .value("y", latency=4, fu_class="fpu")
+            .op("s", fu_class="mem")
+            .flow("x", "s").flow("y", "s")
+            .build()
+        )
+        rg = retarget(g, vliw())
+        assert rg.operation("x").delta_w == 2
+        assert g.operation("x").delta_w == 0  # original untouched
+
+
+class TestBuilder:
+    def test_parametric_shapes(self):
+        assert chain_ddg(4).n == 4
+        assert fork_join_ddg(3).n == 5
+        assert independent_chains_ddg(2, 3).n == 6
+
+    def test_default_type_required(self):
+        with pytest.raises(GraphError):
+            DDGBuilder("x").value("a")
+
+    def test_flow_needs_unambiguous_type(self):
+        b = DDGBuilder("x")
+        b.op("a", defs=[INT, FLOAT])
+        b.op("b")
+        with pytest.raises(GraphError):
+            b.flow("a", "b")
+
+    def test_flows_helper(self):
+        g = (
+            DDGBuilder("x").default_type("int")
+            .value("a").value("b").op("c")
+            .flows([("a", "c"), ("b", "c")])
+            .build()
+        )
+        assert g.m == 2
+
+    def test_build_with_bottom(self):
+        g = DDGBuilder("x").default_type("int").value("a").build(with_bottom=True)
+        assert g.has_bottom
+
+
+class TestValidation:
+    def test_valid_graph(self, diamond_ddg):
+        assert validate_ddg(diamond_ddg) == []
+        assert check_ddg(diamond_ddg) is diamond_ddg
+
+    def test_empty_graph_flagged(self):
+        from repro.core import DDG
+
+        assert validate_ddg(DDG("empty")) == ["graph has no operation"]
+
+    def test_cycle_flagged(self, diamond_ddg):
+        diamond_ddg.add_serial_edge("d", "a")
+        problems = validate_ddg(diamond_ddg)
+        assert any("cycle" in p for p in problems)
+        with pytest.raises(GraphError):
+            check_ddg(diamond_ddg)
+
+    def test_bottom_with_successor_flagged(self, diamond_ddg):
+        g = diamond_ddg.with_bottom()
+        from repro.core.types import BOTTOM
+
+        g.add_serial_edge(BOTTOM, "a", latency=0)
+        problems = validate_ddg(g, require_acyclic=False)
+        assert any("bottom" in p for p in problems)

@@ -1,0 +1,158 @@
+"""Tests for schedules, reference schedulers and lifetimes."""
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    DDGBuilder,
+    Schedule,
+    asap_schedule,
+    alap_schedule,
+    chain_ddg,
+    enumerate_schedules,
+    fork_join_ddg,
+    interference_graph,
+    list_schedule_priority,
+    register_need,
+    register_need_all_types,
+    sequential_schedule,
+    value_lifetimes,
+)
+from repro.core.lifetime import LifetimeInterval, killing_date, max_simultaneously_alive
+from repro.core.types import INT, Value
+from repro.errors import ScheduleError
+
+
+class TestScheduleObject:
+    def test_validity(self, diamond_ddg):
+        s = asap_schedule(diamond_ddg)
+        assert s.is_valid(diamond_ddg)
+        assert s.violations(diamond_ddg) == []
+
+    def test_invalid_schedule_detected(self, diamond_ddg):
+        bad = Schedule({n: 0 for n in diamond_ddg.nodes()})
+        assert not bad.is_valid(diamond_ddg)
+        with pytest.raises(ScheduleError):
+            bad.check(diamond_ddg)
+
+    def test_missing_node_detected(self, diamond_ddg):
+        partial = Schedule({"a": 0})
+        assert any("not scheduled" in v for v in partial.violations(diamond_ddg))
+
+    def test_makespan_and_total_time(self, diamond_ddg):
+        s = asap_schedule(diamond_ddg)
+        assert s.makespan == 2
+        assert s.total_time(diamond_ddg) == 3  # d issues at 2, latency 1
+
+    def test_shifted(self, diamond_ddg):
+        s = asap_schedule(diamond_ddg).shifted(5)
+        assert s["a"] == 5 and s.is_valid(diamond_ddg)
+
+    def test_as_dict_copy(self, diamond_ddg):
+        s = asap_schedule(diamond_ddg)
+        d = s.as_dict()
+        d["a"] = 99
+        assert s["a"] == 0
+
+
+class TestReferenceSchedulers:
+    def test_asap_is_componentwise_minimal(self, diamond_ddg):
+        asap = asap_schedule(diamond_ddg)
+        for s in enumerate_schedules(diamond_ddg, horizon=4, limit=200):
+            for node in diamond_ddg.nodes():
+                assert s[node] >= asap[node]
+
+    def test_alap_respects_horizon(self, diamond_ddg):
+        alap = alap_schedule(diamond_ddg, total_time=10)
+        assert alap.is_valid(diamond_ddg)
+        assert alap.makespan <= 10
+
+    def test_alap_default_equals_critical_path_schedule(self, chain5_ddg):
+        # On a chain ASAP == ALAP at the critical path horizon.
+        assert asap_schedule(chain5_ddg).times == alap_schedule(chain5_ddg).times
+
+    def test_sequential_schedule_valid_and_serial(self, fork4_ddg):
+        s = sequential_schedule(fork4_ddg)
+        assert s.is_valid(fork4_ddg)
+        times = sorted(s.times.values())
+        assert len(set(times)) == len(times)  # strictly sequential issue
+
+    def test_list_schedule_priority_valid(self, fork4_ddg):
+        s = list_schedule_priority(fork4_ddg, priority=lambda v: hash(v) % 7)
+        assert s.is_valid(fork4_ddg)
+
+    def test_enumerate_schedules_all_valid_and_unique(self, diamond_ddg):
+        seen = set()
+        for s in enumerate_schedules(diamond_ddg, horizon=4):
+            assert s.is_valid(diamond_ddg)
+            key = tuple(sorted(s.times.items()))
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) > 1
+
+    def test_enumerate_schedules_limit(self, fork4_ddg):
+        assert len(list(enumerate_schedules(fork4_ddg, limit=5))) == 5
+
+
+class TestLifetimes:
+    def test_interval_semantics_left_open(self):
+        a = LifetimeInterval(Value("a", INT), 0, 2)
+        b = LifetimeInterval(Value("b", INT), 2, 4)
+        assert not a.interferes(b)  # touching intervals do not interfere
+        c = LifetimeInterval(Value("c", INT), 1, 3)
+        assert a.interferes(c) and c.interferes(a)
+
+    def test_empty_interval_never_interferes(self):
+        empty = LifetimeInterval(Value("a", INT), 3, 3)
+        other = LifetimeInterval(Value("b", INT), 0, 10)
+        assert empty.is_empty and not empty.interferes(other)
+
+    def test_contains(self):
+        iv = LifetimeInterval(Value("a", INT), 1, 3)
+        assert not iv.contains(1) and iv.contains(2) and iv.contains(3) and not iv.contains(4)
+
+    def test_killing_date_and_lifetimes(self, diamond_ddg):
+        g = diamond_ddg.with_bottom()
+        s = asap_schedule(g)
+        kd = killing_date(g, s, Value("a", INT))
+        assert kd == max(s["b"], s["c"])
+        intervals = value_lifetimes(g, s, INT)
+        assert {iv.value.node for iv in intervals} == {"a", "b", "c"}
+
+    def test_register_need_diamond(self, diamond_ddg):
+        g = diamond_ddg.with_bottom()
+        assert register_need(g, asap_schedule(g), INT) == 2
+
+    def test_register_need_fork(self, fork4_ddg):
+        g = fork4_ddg.with_bottom()
+        assert register_need(g, asap_schedule(g), INT) == 4
+
+    def test_register_need_chain_is_one(self, chain5_ddg):
+        g = chain5_ddg.with_bottom()
+        assert register_need(g, asap_schedule(g), INT) == 1
+
+    def test_register_need_all_types(self, two_types_ddg):
+        g = two_types_ddg.with_bottom()
+        needs = register_need_all_types(g, asap_schedule(g))
+        assert set(t.name for t in needs) == {"int", "float"}
+        assert needs[INT] >= 1
+
+    def test_interference_graph_symmetric_and_matches_maxlive(self, fork4_ddg):
+        g = fork4_ddg.with_bottom()
+        s = asap_schedule(g)
+        adj = interference_graph(g, s, INT)
+        for u, neigh in adj.items():
+            for v in neigh:
+                assert u in adj[v]
+        # the four mid values form a clique
+        mids = [v for v in adj if v.node.startswith("mid")]
+        for u in mids:
+            for v in mids:
+                if u != v:
+                    assert v in adj[u]
+
+    def test_max_simultaneously_alive_witness(self, fork4_ddg):
+        g = fork4_ddg.with_bottom()
+        s = asap_schedule(g)
+        count, witness = max_simultaneously_alive(value_lifetimes(g, s, INT))
+        assert count == 4 and len(witness) == 4

@@ -1,0 +1,104 @@
+"""Tests for repro.core.types and repro.core.operation."""
+
+import pytest
+
+from repro.core.operation import Operation
+from repro.core.types import (
+    BOTTOM,
+    BRANCH,
+    FLOAT,
+    INT,
+    DependenceKind,
+    RegisterType,
+    Value,
+    canonical_type,
+    sorted_types,
+)
+
+
+class TestRegisterType:
+    def test_equality_by_name(self):
+        assert RegisterType("int") == INT
+        assert RegisterType("float") == FLOAT
+
+    def test_canonical_type_from_string(self):
+        assert canonical_type("int") is INT
+        assert canonical_type("float") is FLOAT
+
+    def test_canonical_type_passthrough(self):
+        assert canonical_type(INT) is INT
+
+    def test_canonical_type_custom(self):
+        custom = canonical_type("predicate")
+        assert custom.name == "predicate"
+        assert custom != INT
+
+    def test_canonical_type_rejects_bad_input(self):
+        with pytest.raises(TypeError):
+            canonical_type(42)
+
+    def test_sorted_types_deterministic(self):
+        assert sorted_types({FLOAT, INT, BRANCH}) == [BRANCH, FLOAT, INT]
+
+
+class TestValue:
+    def test_value_identity(self):
+        assert Value("a", INT) == Value("a", canonical_type("int"))
+        assert Value("a", INT) != Value("a", FLOAT)
+
+    def test_value_ordering_is_stable(self):
+        values = sorted([Value("b", INT), Value("a", INT), Value("a", FLOAT)])
+        assert values[0].node == "a"
+
+    def test_str(self):
+        assert str(Value("a", INT)) == "a^int"
+
+
+class TestDependenceKind:
+    def test_members(self):
+        assert DependenceKind.FLOW.value == "flow"
+        assert DependenceKind.SERIAL.value == "serial"
+
+
+class TestOperation:
+    def test_defaults(self):
+        op = Operation("a")
+        assert op.latency == 1 and op.delta_r == 0 and op.delta_w == 0
+        assert not op.is_value_producer
+
+    def test_defines(self):
+        op = Operation("a", defs=frozenset({INT}))
+        assert op.defines("int") and not op.defines("float")
+        assert op.is_value_producer
+
+    def test_string_types_normalised(self):
+        op = Operation("a", defs=frozenset({"float"}))
+        assert op.defines(FLOAT)
+
+    def test_read_write_cycles(self):
+        op = Operation("a", delta_r=1, delta_w=2)
+        assert op.read_cycle(10) == 11
+        assert op.write_cycle(10) == 12
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("a", latency=-1)
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("a", delta_r=-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("")
+
+    def test_renamed_and_with_offsets(self):
+        op = Operation("a", defs=frozenset({INT}), latency=3)
+        renamed = op.renamed("b")
+        assert renamed.name == "b" and renamed.latency == 3
+        shifted = op.with_offsets(1, 2)
+        assert shifted.delta_r == 1 and shifted.delta_w == 2
+        assert op.delta_r == 0  # original untouched
+
+    def test_bottom_constant(self):
+        assert BOTTOM == "__bottom__"

@@ -1,0 +1,264 @@
+"""Tests for the integer-programming substrate (model, linearizations, solvers)."""
+
+import pytest
+
+from repro.errors import InfeasibleError, ModelError, SolverError
+from repro.ilp import (
+    IntegerProgram,
+    LinExpr,
+    SolveStatus,
+    add_disjunction_ge,
+    add_equivalence_conjunction,
+    add_implication_ge,
+    add_implication_le,
+    add_max_equality,
+    as_expr,
+    expression_bounds,
+    solve,
+    solve_with_branch_and_bound,
+    solve_with_scipy,
+)
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        x, y = LinExpr.term("x"), LinExpr.term("y")
+        e = 2 * x + y - 3
+        assert e.coefficient("x") == 2 and e.coefficient("y") == 1 and e.constant == -3
+
+    def test_subtraction_and_negation(self):
+        x, y = LinExpr.term("x"), LinExpr.term("y")
+        e = -(x - y)
+        assert e.coefficient("x") == -1 and e.coefficient("y") == 1
+
+    def test_rsub(self):
+        x = LinExpr.term("x")
+        e = 5 - x
+        assert e.constant == 5 and e.coefficient("x") == -1
+
+    def test_mul_by_expr_rejected(self):
+        with pytest.raises(TypeError):
+            LinExpr.term("x") * LinExpr.term("y")
+
+    def test_sum_and_evaluate(self):
+        e = LinExpr.sum([LinExpr.term("x"), LinExpr.term("y"), 4])
+        assert e.evaluate({"x": 1, "y": 2}) == 7
+
+    def test_bounds(self):
+        e = 2 * LinExpr.term("x") - LinExpr.term("y") + 1
+        lo, hi = e.bounds({"x": (0, 3), "y": (1, 2)})
+        assert lo == 0 - 2 + 1 and hi == 6 - 1 + 1
+
+    def test_as_expr_coercions(self):
+        assert as_expr("x").coefficient("x") == 1
+        assert as_expr(3).constant == 3
+        with pytest.raises(TypeError):
+            as_expr([1, 2])
+
+    def test_zero_coefficients_dropped(self):
+        e = LinExpr({"x": 0.0, "y": 1.0})
+        assert e.variables() == ("y",)
+
+
+class TestModel:
+    def test_variable_management(self):
+        m = IntegerProgram("m")
+        m.add_integer("x", 0, 5)
+        m.add_binary("b")
+        m.add_continuous("c", -1, 1)
+        assert m.num_variables == 3
+        assert m.num_integer_variables == 2
+        assert m.num_binary_variables == 1
+        with pytest.raises(ModelError):
+            m.add_integer("x", 0, 1)
+
+    def test_bad_bounds_rejected(self):
+        m = IntegerProgram("m")
+        with pytest.raises(ModelError):
+            m.add_integer("x", 5, 0)
+
+    def test_constraint_unknown_variable(self):
+        m = IntegerProgram("m")
+        m.add_integer("x", 0, 5)
+        with pytest.raises(ModelError):
+            m.add_le(LinExpr.term("zzz"), 1)
+
+    def test_constraint_needs_bound(self):
+        m = IntegerProgram("m")
+        x = m.add_integer("x", 0, 5)
+        with pytest.raises(ModelError):
+            m.add_constraint(x)
+
+    def test_check_assignment(self):
+        m = IntegerProgram("m")
+        x = m.add_integer("x", 0, 5)
+        y = m.add_integer("y", 0, 5)
+        m.add_le(x + y, 6, label="cap")
+        assert m.check_assignment({"x": 2, "y": 3}) == []
+        assert "cap" in m.check_assignment({"x": 5, "y": 5})
+        assert any("outside" in p for p in m.check_assignment({"x": 9, "y": 0}))
+
+    def test_statistics_and_arrays(self):
+        m = IntegerProgram("m")
+        x = m.add_integer("x", 0, 5)
+        m.add_ge(x, 2)
+        m.maximize(x)
+        names, c, A, cl, cu, lb, ub, integrality = m.to_arrays()
+        assert names == ["x"] and c[0] == -1.0  # maximization negated
+        assert m.statistics()["constraints"] == 1
+
+
+class TestSolvers:
+    def build_simple(self):
+        m = IntegerProgram("simple")
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_le(x + y, 7)
+        m.add_ge(x - y, -2)
+        m.maximize(2 * x + 3 * y)
+        return m
+
+    def test_scipy_backend(self):
+        sol = solve_with_scipy(self.build_simple())
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(2 * 2.5 + 3 * 4.5, abs=2)  # integral optimum nearby
+
+    def test_backends_agree(self):
+        m = self.build_simple()
+        a = solve_with_scipy(m)
+        b = solve_with_branch_and_bound(m)
+        assert a.is_optimal and b.is_optimal
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_infeasible(self):
+        m = IntegerProgram("bad")
+        x = m.add_integer("x", 0, 1)
+        m.add_ge(x, 5)
+        m.minimize(x)
+        assert solve_with_scipy(m).status is SolveStatus.INFEASIBLE
+        assert solve_with_branch_and_bound(m).status is SolveStatus.INFEASIBLE
+        with pytest.raises(InfeasibleError):
+            solve(m, require_feasible=True)
+
+    def test_unknown_backend(self):
+        with pytest.raises(SolverError):
+            solve(self.build_simple(), backend="cplex")
+
+    def test_integer_rounding(self):
+        m = IntegerProgram("round")
+        x = m.add_integer("x", 0, 9)
+        m.add_ge(x, 3)
+        m.minimize(x)
+        sol = solve(m)
+        assert sol.int_value("x") == 3 and isinstance(sol.int_value("x"), int)
+
+    def test_solution_helpers(self):
+        m = self.build_simple()
+        sol = solve(m)
+        assert set(sol.subset("x")) == {"x"}
+        assert sol.value("nope", default=-1) == -1
+
+
+class TestLinearizations:
+    def test_max_equality(self):
+        m = IntegerProgram("max")
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        z = m.add_integer("z", 0, 30)
+        m.add_eq(x, 4)
+        m.add_eq(y, 9)
+        add_max_equality(m, z, [x, y], "mx")
+        m.minimize(z)
+        assert solve(m).int_value("z") == 9
+
+    def test_max_equality_single_term(self):
+        m = IntegerProgram("max1")
+        x = m.add_integer("x", 0, 10)
+        z = m.add_integer("z", 0, 10)
+        m.add_eq(x, 6)
+        add_max_equality(m, z, [x], "mx")
+        m.minimize(z)
+        assert solve(m).int_value("z") == 6
+
+    def test_max_equality_empty_rejected(self):
+        m = IntegerProgram("max0")
+        z = m.add_integer("z", 0, 10)
+        with pytest.raises(ModelError):
+            add_max_equality(m, z, [], "mx")
+
+    def test_implication_ge(self):
+        m = IntegerProgram("impl")
+        b = m.add_binary("b")
+        x = m.add_integer("x", 0, 10)
+        add_implication_ge(m, b, x, 7)
+        m.add_ge(b, 1)
+        m.minimize(x)
+        assert solve(m).int_value("x") == 7
+
+    def test_implication_inactive_when_binary_zero(self):
+        m = IntegerProgram("impl0")
+        b = m.add_binary("b")
+        x = m.add_integer("x", 0, 10)
+        add_implication_ge(m, b, x, 7)
+        m.add_le(b, 0)
+        m.minimize(x)
+        assert solve(m).int_value("x") == 0
+
+    def test_implication_le(self):
+        m = IntegerProgram("imple")
+        b = m.add_binary("b")
+        x = m.add_integer("x", 0, 10)
+        add_implication_le(m, b, x, 3)
+        m.add_ge(b, 1)
+        m.maximize(x)
+        assert solve(m).int_value("x") == 3
+
+    def test_disjunction(self):
+        m = IntegerProgram("disj")
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        add_disjunction_ge(m, [(x, 8), (y, 8)], "or")
+        m.minimize(x + y)
+        sol = solve(m)
+        assert max(sol.int_value("x"), sol.int_value("y")) == 8
+        assert sol.int_value("x") + sol.int_value("y") == 8
+
+    def test_equivalence_conjunction_forward(self):
+        # indicator forced to 1 -> both conjuncts must hold
+        m = IntegerProgram("eqv-fw")
+        s = m.add_binary("s")
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        add_equivalence_conjunction(m, s, [(x, 5), (y, 4)], "e")
+        m.add_ge(s, 1)
+        m.minimize(x + y)
+        sol = solve(m)
+        assert sol.int_value("x") >= 5 and sol.int_value("y") >= 4
+
+    def test_equivalence_conjunction_backward(self):
+        # both conjuncts hold -> indicator must be 1 (maximizing -s would like 0)
+        m = IntegerProgram("eqv-bw")
+        s = m.add_binary("s")
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        add_equivalence_conjunction(m, s, [(x, 5), (y, 4)], "e")
+        m.add_eq(x, 6)
+        m.add_eq(y, 9)
+        m.minimize(s)
+        assert solve(m).int_value("s") == 1
+
+    def test_equivalence_conjunction_negative_case(self):
+        # one conjunct violated -> indicator can and will be 0 when minimised
+        m = IntegerProgram("eqv-neg")
+        s = m.add_binary("s")
+        x = m.add_integer("x", 0, 10)
+        add_equivalence_conjunction(m, s, [(x, 5)], "e")
+        m.add_eq(x, 2)
+        m.maximize(s)
+        assert solve(m).int_value("s") == 0
+
+    def test_expression_bounds_helper(self):
+        m = IntegerProgram("b")
+        x = m.add_integer("x", 2, 5)
+        lo, hi = expression_bounds(m, 3 * x - 1)
+        assert lo == 5 and hi == 14

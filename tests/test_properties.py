@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for the core invariants of the framework.
+
+Random DDGs are generated from seeds through the library's own seeded
+generators, which keeps the strategy space small while still exploring a
+wide variety of graph shapes.  The invariants checked here are the ones the
+paper's correctness arguments rest on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import (
+    critical_path_length,
+    is_antichain,
+    maximum_antichain,
+    maximum_antichain_size,
+    minimum_chain_cover_size,
+    transitive_closure_pairs,
+)
+from repro.codes.generator import layered_random_ddg, random_loop_body
+from repro.core import asap_schedule, register_need, sequential_schedule
+from repro.core.lifetime import value_lifetimes
+from repro.core.schedule import list_schedule_priority
+from repro.core.types import INT
+from repro.ilp import IntegerProgram, LinExpr, add_max_equality, solve
+from repro.saturation import (
+    greedy_saturation,
+    killed_graph,
+    killing_function_from_schedule,
+    potential_killers_map,
+    saturation_bounds,
+)
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+small_ddgs = st.builds(
+    layered_random_ddg,
+    nodes=st.integers(6, 16),
+    layers=st.integers(2, 4),
+    edge_probability=st.floats(0.15, 0.6),
+    max_latency=st.integers(1, 5),
+    value_probability=st.floats(0.5, 1.0),
+    seed=st.integers(0, 10_000),
+)
+
+loop_ddgs = st.builds(
+    random_loop_body,
+    operations=st.integers(6, 18),
+    ilp_degree=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestScheduleProperties:
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_asap_and_sequential_schedules_are_valid(self, ddg):
+        g = ddg.with_bottom()
+        assert asap_schedule(g).is_valid(g)
+        assert sequential_schedule(g).is_valid(g)
+
+    @_SETTINGS
+    @given(small_ddgs, st.integers(0, 1000))
+    def test_any_priority_list_schedule_is_valid(self, ddg, salt):
+        g = ddg.with_bottom()
+        s = list_schedule_priority(g, priority=lambda v: hash((v, salt)) % 17)
+        assert s.is_valid(g)
+
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_asap_makespan_equals_critical_path(self, ddg):
+        g = ddg.with_bottom()
+        assert asap_schedule(g).makespan == critical_path_length(g)
+
+
+class TestLifetimeProperties:
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_interference_is_symmetric_and_irreflexive(self, ddg):
+        g = ddg.with_bottom()
+        s = asap_schedule(g)
+        intervals = value_lifetimes(g, s, INT)
+        for a in intervals:
+            assert not a.interferes(a) or not a.is_empty
+            for b in intervals:
+                assert a.interferes(b) == b.interferes(a)
+
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_register_need_never_exceeds_value_count(self, ddg):
+        g = ddg.with_bottom()
+        s = asap_schedule(g)
+        assert 0 <= register_need(g, s, INT) <= len(g.values(INT))
+
+
+class TestSaturationProperties:
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_bounds_sandwich_greedy(self, ddg):
+        bounds = saturation_bounds(ddg, INT)
+        greedy = greedy_saturation(ddg, INT)
+        assert bounds.lower <= bounds.upper
+        assert greedy.rs <= bounds.upper
+        # the greedy value is itself a valid lower bound of the saturation
+        assert greedy.rs >= 0
+
+    @_SETTINGS
+    @given(loop_ddgs)
+    def test_greedy_at_least_any_schedule_need(self, ddg):
+        g = ddg.with_bottom()
+        for rtype in g.register_types():
+            greedy = greedy_saturation(ddg, rtype)
+            assert greedy.rs >= register_need(g, asap_schedule(g), rtype)
+
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_killing_function_from_schedule_is_valid(self, ddg):
+        g = ddg.with_bottom()
+        kf = killing_function_from_schedule(g, asap_schedule(g), INT)
+        pk = potential_killers_map(g, INT)
+        for value, killer in kf.items():
+            assert killer in pk[value]
+        assert killed_graph(g, kf).is_acyclic()
+
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_saturating_values_form_a_set_of_distinct_values(self, ddg):
+        result = greedy_saturation(ddg, INT)
+        assert len(set(result.saturating_values)) == len(result.saturating_values)
+        assert len(result.saturating_values) == result.rs
+
+
+class TestAntichainProperties:
+    poset = st.integers(3, 9).flatmap(
+        lambda n: st.tuples(
+            st.just(list(range(n))),
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda p: p[0] < p[1]
+                ),
+                max_size=n * 2,
+            ),
+        )
+    )
+
+    @_SETTINGS
+    @given(poset)
+    def test_antichain_is_antichain_and_duality_holds(self, data):
+        elements, raw_pairs = data
+        # transitive closure of the random relation
+        pairs = set(raw_pairs)
+        changed = True
+        while changed:
+            changed = False
+            for (a, b) in list(pairs):
+                for (c, d) in list(pairs):
+                    if b == c and (a, d) not in pairs:
+                        pairs.add((a, d))
+                        changed = True
+        anti = maximum_antichain(elements, pairs)
+        assert is_antichain(anti, pairs)
+        assert len(anti) == maximum_antichain_size(elements, pairs)
+        assert len(anti) == minimum_chain_cover_size(elements, pairs)
+
+    @_SETTINGS
+    @given(small_ddgs)
+    def test_ddg_width_at_most_node_count(self, ddg):
+        pairs = transitive_closure_pairs(ddg)
+        width = maximum_antichain_size(ddg.nodes(), pairs)
+        assert 1 <= width <= ddg.n
+
+
+class TestILPProperties:
+    @_SETTINGS
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=4))
+    def test_max_linearization_matches_python_max(self, targets):
+        m = IntegerProgram("pmax")
+        terms = []
+        for i, t in enumerate(targets):
+            x = m.add_integer(f"x{i}", 0, 25)
+            m.add_eq(x, t)
+            terms.append(x)
+        z = m.add_integer("z", 0, 30)
+        add_max_equality(m, z, terms, "mx")
+        m.minimize(z)
+        assert solve(m).int_value("z") == max(targets)
+
+    @_SETTINGS
+    @given(
+        st.integers(0, 8), st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)
+    )
+    def test_small_knapsack_optimal(self, a, b, ca, cb):
+        # maximize a*x + b*y subject to x + y <= 5 with 0 <= x,y <= 4
+        m = IntegerProgram("knap")
+        x = m.add_integer("x", 0, 4)
+        y = m.add_integer("y", 0, 4)
+        m.add_le(x + y, 5)
+        m.maximize(a * x + b * y)
+        sol = solve(m)
+        brute = max(
+            a * i + b * j for i in range(5) for j in range(5) if i + j <= 5
+        )
+        assert round(sol.objective) == brute

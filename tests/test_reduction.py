@@ -1,0 +1,223 @@
+"""Tests for register-saturation reduction: serialization, heuristic, exact, minimization."""
+
+import pytest
+
+from repro.analysis import critical_path_length
+from repro.codes.kernels import figure2_dag
+from repro.core import DDGBuilder, fork_join_ddg, independent_chains_ddg, superscalar, vliw
+from repro.core.types import INT, FLOAT, Value
+from repro.errors import SpillRequiredError
+from repro.reduction import (
+    SerializationMode,
+    apply_serialization,
+    has_positive_circuit,
+    is_schedulable,
+    legal_serialization,
+    minimize_register_need,
+    reduce_saturation,
+    reduce_saturation_exact,
+    reduce_saturation_heuristic,
+    serialization_edges,
+    serialization_latency,
+    serialize_from_schedule,
+    solve_src,
+    would_remain_acyclic,
+)
+from repro.saturation import exact_saturation, greedy_saturation
+
+
+class TestSerializationPrimitives:
+    def test_latency_modes(self, figure2):
+        assert serialization_latency(figure2, "ka", "b", SerializationMode.SEQUENTIAL) == 1
+        assert serialization_latency(figure2, "ka", "b", SerializationMode.OFFSETS) == 0
+
+    def test_serialization_edges_from_readers(self, figure2):
+        edges = serialization_edges(figure2, Value("a", INT), Value("b", INT),
+                                    mode=SerializationMode.OFFSETS, skip_existing=False)
+        assert [(e.src, e.dst) for e in edges] == [("ka", "b")]
+        assert all(e.is_serial for e in edges)
+
+    def test_serialization_excludes_consumer_target(self, diamond_ddg):
+        # Serialize a before b where b consumes a: arcs come from the *other* readers.
+        edges = serialization_edges(diamond_ddg, Value("a", INT), Value("b", INT),
+                                    skip_existing=False)
+        assert [(e.src, e.dst) for e in edges] == [("c", "b")]
+
+    def test_skip_existing(self, diamond_ddg):
+        first = serialization_edges(diamond_ddg, Value("a", INT), Value("b", INT))
+        extended = apply_serialization(diamond_ddg, first)
+        again = serialization_edges(extended, Value("a", INT), Value("b", INT))
+        assert again == []
+
+    def test_different_types_rejected(self, two_types_ddg):
+        from repro.errors import ReductionError
+
+        with pytest.raises(ReductionError):
+            serialization_edges(two_types_ddg, Value("addr", INT), Value("x", FLOAT))
+
+    def test_would_remain_acyclic(self, diamond_ddg):
+        ok = serialization_edges(diamond_ddg, Value("a", INT), Value("b", INT),
+                                 skip_existing=False)
+        assert would_remain_acyclic(diamond_ddg, ok)
+        from repro.core.graph import Edge
+        from repro.core.types import DependenceKind
+
+        bad = [Edge("d", "a", 0, DependenceKind.SERIAL, None)]
+        assert not would_remain_acyclic(diamond_ddg, bad)
+
+    def test_legal_serialization_refuses_cycles(self):
+        # All values share one consumer: any serialization closes a cycle.
+        b = DDGBuilder("shared").default_type("int")
+        b.value("a").value("b").op("use")
+        b.flow("a", "use").flow("b", "use")
+        g = b.build()
+        assert legal_serialization(g, Value("a", INT), Value("b", INT)) is None
+
+    def test_legal_serialization_refuses_bottom(self, figure2):
+        g = figure2.with_bottom()
+        from repro.core.types import BOTTOM
+
+        assert legal_serialization(g, Value("a", INT), Value(BOTTOM, INT)) is None
+
+    def test_schedulability_checks(self, diamond_ddg):
+        assert is_schedulable(diamond_ddg)
+        diamond_ddg.add_serial_edge("d", "a", latency=1)
+        assert has_positive_circuit(diamond_ddg)
+        assert not is_schedulable(diamond_ddg)
+
+    def test_nonpositive_circuit_is_schedulable(self, diamond_ddg):
+        diamond_ddg.add_serial_edge("d", "a", latency=-10)
+        assert not diamond_ddg.is_acyclic()
+        assert is_schedulable(diamond_ddg)
+
+
+class TestHeuristicReduction:
+    def test_figure2_reduced_to_three(self, figure2, superscalar_machine):
+        result = reduce_saturation_heuristic(figure2, INT, 3, machine=superscalar_machine)
+        assert result.success and result.original_rs == 4
+        assert result.achieved_rs <= 3
+        assert exact_saturation(result.extended_ddg, INT).rs <= 3
+        assert result.ilp_loss == 0 and result.arcs_added >= 1
+
+    def test_no_arcs_when_budget_sufficient(self, figure2, superscalar_machine):
+        result = reduce_saturation_heuristic(figure2, INT, 4, machine=superscalar_machine)
+        assert result.success and result.arcs_added == 0 and not result.reduction_needed
+
+    def test_original_graph_untouched(self, figure2, superscalar_machine):
+        before = figure2.m
+        reduce_saturation_heuristic(figure2, INT, 2, machine=superscalar_machine)
+        assert figure2.m == before
+
+    def test_original_edges_preserved_in_extension(self, figure2, superscalar_machine):
+        result = reduce_saturation_heuristic(figure2, INT, 3, machine=superscalar_machine)
+        original = {(e.src, e.dst, e.kind, e.rtype) for e in figure2.edges()}
+        extended = {(e.src, e.dst, e.kind, e.rtype) for e in result.extended_ddg.edges()}
+        assert original <= extended
+
+    def test_unreducible_graph_reports_failure(self, superscalar_machine):
+        g = fork_join_ddg(4)  # the four mids all feed 'join': always 4 alive
+        result = reduce_saturation_heuristic(g, INT, 3, machine=superscalar_machine)
+        assert not result.success
+        with pytest.raises(SpillRequiredError):
+            reduce_saturation_heuristic(g, INT, 3, machine=superscalar_machine,
+                                        raise_on_failure=True)
+
+    def test_bad_budget_rejected(self, figure2):
+        with pytest.raises(ValueError):
+            reduce_saturation_heuristic(figure2, INT, 0)
+
+    def test_irreducible_exit_values_reported(self, superscalar_machine):
+        # All chain tails are exit values: they stay alive until the bottom
+        # node in every schedule, so the saturation can never drop below 4.
+        g = independent_chains_ddg(4, 2)
+        result = reduce_saturation_heuristic(g, INT, 2, machine=superscalar_machine)
+        assert not result.success and result.achieved_rs == 4
+
+    def test_figure2_reduced_to_two_step_by_step(self, figure2, superscalar_machine):
+        result = reduce_saturation_heuristic(figure2, INT, 2, machine=superscalar_machine)
+        assert result.success
+        assert exact_saturation(result.extended_ddg, INT).rs <= 2
+        assert result.arcs_added >= 2
+
+    def test_dispatch_wrapper(self, figure2):
+        assert reduce_saturation(figure2, INT, 3, method="heuristic").success
+        assert reduce_saturation(figure2, INT, 3, method="exact").success
+        with pytest.raises(ValueError):
+            reduce_saturation(figure2, INT, 3, method="magic")
+
+
+class TestExactReduction:
+    def test_figure2_exact_reduction(self, figure2, superscalar_machine):
+        result = reduce_saturation_exact(figure2, INT, 3, machine=superscalar_machine, verify=True)
+        assert result.success and result.optimal
+        assert result.achieved_rs <= 3
+        assert result.details["verified_rs"] <= 3
+        assert result.ilp_loss == 0
+
+    def test_exact_reduction_spill_detection(self, superscalar_machine):
+        g = fork_join_ddg(4)
+        with pytest.raises(SpillRequiredError):
+            reduce_saturation_exact(g, INT, 3, machine=superscalar_machine)
+
+    def test_exact_never_loses_more_ilp_than_heuristic(self, superscalar_machine):
+        checked = 0
+        for g, budget in ((figure2_dag(), 3), (figure2_dag(), 2)):
+            try:
+                exact = reduce_saturation_exact(g, INT, budget, machine=superscalar_machine)
+            except SpillRequiredError:
+                continue
+            heur = reduce_saturation_heuristic(g, INT, budget, machine=superscalar_machine)
+            if heur.success:
+                assert exact.ilp_loss <= heur.ilp_loss
+                checked += 1
+        assert checked >= 1
+
+    def test_src_solver_consistency(self, figure2):
+        schedule, solution, info = solve_src(figure2, INT, 2)
+        from repro.core.lifetime import register_need
+
+        assert schedule is not None
+        assert register_need(info.ddg, schedule, INT) <= 2
+        none_schedule, _, _ = solve_src(fork_join_ddg(4), INT, 3)
+        assert none_schedule is None
+
+    def test_src_respects_deadline(self, figure2):
+        cp = critical_path_length(figure2.with_bottom())
+        schedule, _, _ = solve_src(figure2, INT, 3, deadline=cp)
+        assert schedule is not None and schedule.makespan <= cp
+
+    def test_serialize_from_schedule_freezes_precedences(self, figure2):
+        from repro.core import asap_schedule
+
+        g = figure2.with_bottom()
+        extended, added, skipped = serialize_from_schedule(g, asap_schedule(g), INT)
+        assert not skipped
+        assert extended.m >= g.m
+        assert extended.is_acyclic()
+
+
+class TestMinimization:
+    def test_figure2_minimization_reaches_two(self, figure2, superscalar_machine):
+        result = minimize_register_need(figure2, INT, machine=superscalar_machine)
+        assert result.achieved_rs == 2
+        assert result.ilp_loss <= 0 or result.critical_path_after == result.critical_path_before
+
+    def test_minimization_adds_more_arcs_than_saturation_reduction(
+        self, figure2, superscalar_machine
+    ):
+        minimized = minimize_register_need(figure2, INT, machine=superscalar_machine)
+        reduced = reduce_saturation_heuristic(figure2, INT, 3, machine=superscalar_machine)
+        assert minimized.arcs_added > reduced.arcs_added
+
+    def test_minimization_on_chain_is_trivial(self, chain5_ddg, superscalar_machine):
+        result = minimize_register_need(chain5_ddg, INT, machine=superscalar_machine)
+        assert result.achieved_rs <= 1
+
+
+class TestReductionResult:
+    def test_summary_fields(self, figure2, superscalar_machine):
+        result = reduce_saturation_heuristic(figure2, INT, 3, machine=superscalar_machine)
+        summary = result.summary()
+        assert summary["target"] == 3 and summary["success"] is True
+        assert summary["ilp_loss"] == result.ilp_loss
+        assert result.reduction_needed
