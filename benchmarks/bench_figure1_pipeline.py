@@ -12,10 +12,12 @@ from repro.core import superscalar
 from repro.experiments import run_pipeline_experiment, section
 
 
-def test_figure1_pipeline(benchmark, small_kernel_suite):
+def test_figure1_pipeline(benchmark, small_kernel_suite, engine):
     machine = superscalar(int_registers=6, float_registers=6)
     report = benchmark.pedantic(
-        lambda: run_pipeline_experiment(suite=small_kernel_suite, machine=machine, registers=6),
+        lambda: run_pipeline_experiment(
+            suite=small_kernel_suite, machine=machine, registers=6, engine=engine
+        ),
         rounds=1,
         iterations=1,
     )

@@ -10,9 +10,9 @@ from __future__ import annotations
 from repro.experiments import run_ilp_size_study, section
 
 
-def test_ilp_size_scaling(benchmark):
+def test_ilp_size_scaling(benchmark, engine):
     report = benchmark.pedantic(
-        lambda: run_ilp_size_study(sizes=(10, 15, 20, 25, 30, 40, 50)),
+        lambda: run_ilp_size_study(sizes=(10, 15, 20, 25, 30, 40, 50), engine=engine),
         rounds=1,
         iterations=1,
     )

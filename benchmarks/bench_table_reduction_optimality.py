@@ -21,10 +21,11 @@ from __future__ import annotations
 from repro.experiments import PAPER_BREAKDOWN, run_reduction_optimality, section
 
 
-def test_reduction_optimality_breakdown(benchmark, tiny_kernel_suite, machine):
+def test_reduction_optimality_breakdown(benchmark, tiny_kernel_suite, machine, engine):
     report = benchmark.pedantic(
         lambda: run_reduction_optimality(
-            suite=tiny_kernel_suite, machine=machine, max_nodes=12, time_limit=90
+            suite=tiny_kernel_suite, machine=machine, max_nodes=12, time_limit=90,
+            engine=engine,
         ),
         rounds=1,
         iterations=1,

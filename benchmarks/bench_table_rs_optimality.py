@@ -9,9 +9,11 @@ from __future__ import annotations
 from repro.experiments import run_rs_optimality, section
 
 
-def test_rs_optimality_table(benchmark, small_kernel_suite):
+def test_rs_optimality_table(benchmark, small_kernel_suite, engine):
     report = benchmark.pedantic(
-        lambda: run_rs_optimality(suite=small_kernel_suite, max_nodes=24, time_limit=120),
+        lambda: run_rs_optimality(
+            suite=small_kernel_suite, max_nodes=24, time_limit=120, engine=engine
+        ),
         rounds=1,
         iterations=1,
     )

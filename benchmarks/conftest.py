@@ -13,6 +13,7 @@ import pytest
 
 from repro.codes import benchmark_suite, kernel_suite
 from repro.core import superscalar
+from repro.experiments import BatchEngine
 
 
 @pytest.fixture(scope="session")
@@ -37,3 +38,15 @@ def full_suite():
 @pytest.fixture(scope="session")
 def machine():
     return superscalar()
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """Batch engine for the experiment drivers.
+
+    Serial by default so the pytest-benchmark timings stay comparable;
+    export ``REPRO_ENGINE=thread:8`` (or ``process:8``) to fan the suites
+    out -- the reports are byte-identical either way.
+    """
+
+    return BatchEngine.from_environment()

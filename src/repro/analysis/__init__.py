@@ -7,6 +7,7 @@ from .antichain import (
     maximum_antichain_size,
     minimum_chain_cover_size,
 )
+from .context import AnalysisContext, caching_disabled, caching_enabled, context_for
 from .graphalgo import (
     NEG_INF,
     alap_times,
@@ -19,12 +20,17 @@ from .graphalgo import (
     longest_path_to_sinks,
     longest_paths_from,
     redundant_edges,
+    transitive_closure_of_relation,
     transitive_closure_pairs,
     worst_case_total_time,
 )
 from .stats import Summary, fit_power_law, geometric_mean, percentage_breakdown, summarize
 
 __all__ = [
+    "AnalysisContext",
+    "context_for",
+    "caching_disabled",
+    "caching_enabled",
     "NEG_INF",
     "alap_times",
     "ancestors",
@@ -36,6 +42,7 @@ __all__ = [
     "longest_path_to_sinks",
     "longest_paths_from",
     "redundant_edges",
+    "transitive_closure_of_relation",
     "transitive_closure_pairs",
     "worst_case_total_time",
     "maximum_antichain",

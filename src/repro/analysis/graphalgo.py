@@ -31,6 +31,8 @@ __all__ = [
     "descendants_map",
     "reachability_matrix",
     "transitive_closure_pairs",
+    "transitive_closure_of_relation",
+    "would_remain_acyclic",
     "is_redundant_edge",
     "redundant_edges",
 ]
@@ -42,14 +44,19 @@ NEG_INF = float("-inf")
 # --------------------------------------------------------------------------- #
 # Longest paths
 # --------------------------------------------------------------------------- #
-def longest_paths_from(ddg: DDG, source: str) -> Dict[str, float]:
+def longest_paths_from(
+    ddg: DDG, source: str, order: Optional[List[str]] = None
+) -> Dict[str, float]:
     """Longest-path distances (in accumulated latency) from *source* to every node.
 
     Returns a mapping ``node -> lp(source, node)`` where unreachable nodes map
-    to :data:`NEG_INF` and ``lp(source, source) == 0``.
+    to :data:`NEG_INF` and ``lp(source, source) == 0``.  *order* optionally
+    supplies an already-computed topological order (the disjoint-value DAG
+    runs this once per killer of the same graph).
     """
 
-    order = ddg.topological_order()
+    if order is None:
+        order = ddg.topological_order()
     dist: Dict[str, float] = {v: NEG_INF for v in order}
     dist[source] = 0
     started = False
@@ -225,6 +232,65 @@ def transitive_closure_pairs(ddg: DDG) -> Set[Tuple[str, str]]:
 
     reach = reachability_matrix(ddg)
     return {(u, v) for u, targets in reach.items() for v in targets}
+
+
+def would_remain_acyclic(ddg: DDG, edges) -> bool:
+    """True when adding *edges* keeps the graph a DAG.
+
+    Rather than copying the graph, the check looks for a path from each
+    arc's head back to its tail among the existing arcs plus the tentative
+    ones.  This is the single implementation behind both
+    ``repro.reduction.serialization.would_remain_acyclic`` and the uncached
+    fallback of ``AnalysisContext.remains_acyclic_with_edges``.
+    """
+
+    extra_succ: Dict[str, Set[str]] = {}
+    for e in edges:
+        extra_succ.setdefault(e.src, set()).add(e.dst)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen: Set[str] = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            nexts = set(ddg.successors(node)) | extra_succ.get(node, set())
+            for w in nexts:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return False
+
+    return not any(reaches(e.dst, e.src) for e in edges)
+
+
+def transitive_closure_of_relation(nodes, edges):
+    """Transitive closure of an arbitrary binary relation over *nodes*.
+
+    ``edges`` is an iterable of ordered pairs ``(u, v)``; the result contains
+    ``(u, v)`` whenever a non-empty chain of relation edges leads from ``u``
+    to ``v``.  This is the node-type-agnostic worker behind
+    :func:`transitive_closure_pairs` -- the disjoint-value DAG of
+    :mod:`repro.saturation.dvk` uses it on :class:`~repro.core.types.Value`
+    pairs rather than on operation names.
+    """
+
+    succ: Dict[object, Set[object]] = {v: set() for v in nodes}
+    for u, v in edges:
+        succ.setdefault(u, set()).add(v)
+    closure: Set[Tuple[object, object]] = set()
+    for start in succ:
+        stack = list(succ[start])
+        seen: Set[object] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            closure.add((start, node))
+            stack.extend(succ.get(node, ()))
+    return closure
 
 
 # --------------------------------------------------------------------------- #

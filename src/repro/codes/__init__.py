@@ -8,7 +8,7 @@ from .generator import (
     random_suite,
 )
 from .ir import Block, Instruction, DEFAULT_LATENCIES
-from .suite import SuiteEntry, benchmark_suite, kernel_suite, suite_by_name
+from .suite import SuiteEntry, benchmark_suite, kernel_suite, scale_suite, suite_by_name
 from . import kernels
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "SuiteEntry",
     "benchmark_suite",
     "kernel_suite",
+    "scale_suite",
     "suite_by_name",
     "kernels",
 ]

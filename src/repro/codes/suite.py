@@ -14,9 +14,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.graph import DDG
 from ..core.types import FLOAT, INT, RegisterType
 from . import kernels
-from .generator import random_suite
+from .generator import layered_random_ddg, random_suite
 
-__all__ = ["SuiteEntry", "benchmark_suite", "kernel_suite", "suite_by_name"]
+__all__ = ["SuiteEntry", "benchmark_suite", "kernel_suite", "scale_suite", "suite_by_name"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,37 @@ def benchmark_suite(
     if max_size is not None:
         entries = [e for e in entries if e.size <= max_size]
     return entries
+
+
+def scale_suite(
+    sizes: Sequence[int] = (40, 48, 56, 64, 72),
+    seed: int = 2104,
+) -> List[SuiteEntry]:
+    """Larger deterministic DDGs stressing the suite-scale execution paths.
+
+    The paper's population is small loop bodies; production basic blocks
+    (unrolled/fused loops, superblocks) easily reach 40-80 operations, where
+    the polynomial analyses start to dominate the heuristics.  These entries
+    extend the population for the heuristic-only experiments and the
+    analysis-cache benchmark -- they are far beyond what the exact intLP
+    methods can solve.
+    """
+
+    return [
+        SuiteEntry(
+            name=f"scale-n{n}",
+            category="scale",
+            ddg=layered_random_ddg(
+                nodes=n,
+                layers=max(4, n // 7),
+                edge_probability=0.25,
+                seed=seed + i,
+                name=f"scale-n{n}",
+            ),
+            description=f"layered random DDG, {n} operations",
+        )
+        for i, n in enumerate(sizes)
+    ]
 
 
 def suite_by_name(name: str) -> SuiteEntry:

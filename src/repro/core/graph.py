@@ -83,6 +83,18 @@ class DDG:
         self._ops: Dict[str, Operation] = {}
         self._succ: Dict[str, Dict[str, List[Edge]]] = {}
         self._pred: Dict[str, Dict[str, List[Edge]]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural revision; bumped by every mutation.
+
+        :class:`~repro.analysis.context.AnalysisContext` compares this
+        counter against the revision it cached its analyses for, so stale
+        results are discarded automatically after in-place mutations.
+        """
+
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -104,6 +116,7 @@ class DDG:
         self._ops[op.name] = op
         self._succ[op.name] = {}
         self._pred[op.name] = {}
+        self._version += 1
         return op
 
     def _check_node(self, name: str) -> None:
@@ -128,9 +141,11 @@ class DDG:
                 if edge.latency > existing.latency:
                     bucket[i] = edge
                     self._pred[edge.dst][edge.src][i] = edge
+                    self._version += 1
                 return bucket[i]
         bucket.append(edge)
         self._pred[edge.dst].setdefault(edge.src, []).append(edge)
+        self._version += 1
         return edge
 
     def add_flow_edge(
@@ -179,6 +194,7 @@ class DDG:
         if not self._succ[edge.src][edge.dst]:
             del self._succ[edge.src][edge.dst]
             del self._pred[edge.dst][edge.src]
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Basic queries
@@ -390,6 +406,7 @@ class DDG:
 
         self._check_node(op.name)
         self._ops[op.name] = op
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Interoperability / debugging

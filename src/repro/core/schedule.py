@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional
 
-from ..analysis.graphalgo import alap_times, asap_times, critical_path_length
+from ..analysis.context import context_for
 from ..errors import ScheduleError
 from .graph import DDG
 from .types import BOTTOM
@@ -121,13 +121,13 @@ class Schedule:
 def asap_schedule(ddg: DDG) -> Schedule:
     """The as-soon-as-possible schedule (issue every operation at its ASAP time)."""
 
-    return Schedule(asap_times(ddg), ddg.name)
+    return Schedule(context_for(ddg).asap_times(), ddg.name)
 
 
 def alap_schedule(ddg: DDG, total_time: Optional[int] = None) -> Schedule:
     """The as-late-as-possible schedule for a given total time (critical path by default)."""
 
-    return Schedule(alap_times(ddg, total_time), ddg.name)
+    return Schedule(context_for(ddg).alap_times(total_time), ddg.name)
 
 
 def sequential_schedule(ddg: DDG) -> Schedule:
@@ -204,11 +204,12 @@ def enumerate_schedules(
     the enumeration after that many schedules.
     """
 
+    ctx = context_for(ddg)
     if horizon is None:
-        horizon = critical_path_length(ddg) + 2
-    order = ddg.topological_order()
-    asap = asap_times(ddg)
-    alap = alap_times(ddg, horizon)
+        horizon = ctx.critical_path_length() + 2
+    order = ctx.topological_order()
+    asap = ctx.asap_times()
+    alap = ctx.alap_times(horizon)
     count = 0
 
     def backtrack(index: int, partial: Dict[str, int]) -> Iterator[Schedule]:

@@ -51,6 +51,28 @@ class RegisterType:
 
     name: str
 
+    def __post_init__(self) -> None:
+        # Register types and values are hashed millions of times by the
+        # antichain/interference machinery; the generated dataclass hash
+        # rebuilds a field tuple per call, so cache it once.
+        object.__setattr__(self, "_hash", hash((RegisterType, self.name)))
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:  # unpickled instance: recompute in-process
+            h = hash((RegisterType, self.name))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __getstate__(self):
+        # The cached hash mixes an id-based class hash and the randomized
+        # str hash, both process-local; shipping it to a spawn/forkserver
+        # worker would silently break dict/set lookups there.
+        state = self.__dict__.copy()
+        state.pop("_hash", None)
+        return state
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
 
@@ -92,6 +114,22 @@ class Value:
 
     node: str
     rtype: RegisterType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((Value, self.node, self.rtype.name)))
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:  # unpickled instance: recompute in-process
+            h = hash((Value, self.node, self.rtype.name))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_hash", None)
+        return state
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"{self.node}^{self.rtype.name}"

@@ -1,5 +1,6 @@
 """Experiment harness reproducing the paper's evaluation (Section 5) and discussion."""
 
+from .engine import POLICIES, BatchEngine, run_batch
 from .ilp_size import ModelSizePoint, ModelSizeReport, run_ilp_size_study
 from .optimality_reduction import (
     PAPER_BREAKDOWN,
@@ -12,6 +13,9 @@ from .pipeline import PipelineOutcome, PipelineReport, run_pipeline, run_pipelin
 from .reporting import format_breakdown, format_table, section
 
 __all__ = [
+    "BatchEngine",
+    "run_batch",
+    "POLICIES",
     "run_rs_optimality",
     "RSComparison",
     "RSOptimalityReport",

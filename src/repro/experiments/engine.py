@@ -1,0 +1,125 @@
+"""Deterministic batch execution for suite-scale experiment runs.
+
+Every experiment of the harness has the same shape: a list of independent
+(DAG, register type, ...) instances, one expensive analysis per instance, a
+report aggregating the results.  Related work on parallel CSP solving
+(Menouer & Le Cun's deterministic partitioning in Bobpp) shows that
+partitioning such independent combinatorial instances across workers is the
+standard route to throughput -- and that determinism must be designed in,
+not hoped for.
+
+:class:`BatchEngine` provides exactly that contract:
+
+* instances are dispatched over :mod:`concurrent.futures` workers
+  (``thread`` or ``process`` policy) or run inline (``serial`` policy);
+* results always come back **in input order**, whatever order the workers
+  finished in, so a report produced by a parallel run is byte-identical to
+  the serial one (``tests/test_experiments_engine.py`` pins that down);
+* the first worker exception propagates to the caller unchanged, like a
+  plain ``for`` loop.
+
+The ``process`` policy requires the task function and its payload to be
+picklable -- every experiment worker in this package is a module-level
+function over dataclass payloads for that reason.  Thread workers share the
+:mod:`repro.analysis.context` caches; process workers each build their own.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = ["BatchEngine", "run_batch", "POLICIES"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognised execution policies, in increasing order of isolation.
+POLICIES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class BatchEngine:
+    """An execution policy for mapping a task over independent instances.
+
+    Parameters
+    ----------
+    policy:
+        ``"serial"`` (run inline, the default), ``"thread"`` or
+        ``"process"`` (:mod:`concurrent.futures` pools).
+    workers:
+        Worker count for the parallel policies; defaults to the CPU count.
+    """
+
+    policy: str = "serial"
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown engine policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("the engine needs at least one worker")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def coerce(cls, value: Union[None, str, "BatchEngine"]) -> "BatchEngine":
+        """Accept ``None`` (serial), a spec string, or a ready engine."""
+
+        if value is None:
+            return cls()
+        if isinstance(value, BatchEngine):
+            return value
+        return cls.from_spec(value)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "BatchEngine":
+        """Parse ``"serial"``, ``"thread"``, ``"process"``, or ``"thread:4"``."""
+
+        policy, _, count = spec.strip().partition(":")
+        workers = int(count) if count else None
+        return cls(policy=policy or "serial", workers=workers)
+
+    @classmethod
+    def from_environment(cls, default: str = "serial") -> "BatchEngine":
+        """Engine described by ``REPRO_ENGINE`` (e.g. ``process:8``), if set."""
+
+        return cls.from_spec(os.environ.get("REPRO_ENGINE", default))
+
+    def resolved_workers(self, n_items: int) -> int:
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(workers, n_items))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply *fn* to every item, returning results in input order.
+
+        ``Executor.map`` already yields results in submission order, which
+        is what makes parallel reports reproduce the serial ones exactly;
+        the engine only adds the policy dispatch and the single-item
+        fast path.
+        """
+
+        work: Sequence[T] = list(items)
+        if self.policy == "serial" or len(work) <= 1:
+            return [fn(item) for item in work]
+        pool_cls = ThreadPoolExecutor if self.policy == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=self.resolved_workers(len(work))) as pool:
+            return list(pool.map(fn, work))
+
+
+def run_batch(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    engine: Union[None, str, BatchEngine] = None,
+) -> List[R]:
+    """One-shot convenience wrapper: ``BatchEngine.coerce(engine).map(fn, items)``."""
+
+    return BatchEngine.coerce(engine).map(fn, items)

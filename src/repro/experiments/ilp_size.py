@@ -11,13 +11,14 @@ check the claim empirically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..analysis.stats import fit_power_law
 from ..codes.generator import layered_random_ddg
 from ..core.graph import DDG
 from ..core.types import INT
 from ..saturation.exact_ilp import build_rs_program
+from .engine import BatchEngine
 from .reporting import format_table
 
 __all__ = ["ModelSizePoint", "ModelSizeReport", "run_ilp_size_study"]
@@ -81,19 +82,42 @@ class ModelSizeReport:
         )
 
 
+def _size_instance(task: Tuple[DDG, bool]) -> ModelSizePoint:
+    """Module-level batch worker (picklable for the process policy)."""
+
+    ddg, prune = task
+    program, info = build_rs_program(
+        ddg,
+        INT if ddg.values(INT) else ddg.register_types()[0],
+        prune_redundant_arcs=prune,
+        prune_noninterfering_pairs=prune,
+    )
+    stats = program.statistics()
+    return ModelSizePoint(
+        name=ddg.name,
+        nodes=info.ddg.n,
+        edges=info.ddg.m,
+        variables=stats["variables"],
+        binaries=stats["binary_variables"],
+        constraints=stats["constraints"],
+    )
+
+
 def run_ilp_size_study(
     sizes: Sequence[int] = (10, 15, 20, 25, 30, 40, 50, 60),
     seed: int = 7,
     extra_graphs: Optional[Sequence[DDG]] = None,
     prune: bool = False,
+    engine: Union[None, str, BatchEngine] = None,
 ) -> ModelSizeReport:
     """Build the RS intLP over a size sweep and collect the model statistics.
 
     ``prune=False`` measures the raw formulation (the paper's complexity
     claim); enabling the pruning optimisations only makes the models smaller.
+    *engine* fans the sweep out over batch workers with deterministic
+    ordering.
     """
 
-    points: List[ModelSizePoint] = []
     graphs: List[DDG] = [
         layered_random_ddg(
             nodes=n,
@@ -107,22 +131,7 @@ def run_ilp_size_study(
     ]
     if extra_graphs:
         graphs.extend(extra_graphs)
-    for ddg in graphs:
-        program, info = build_rs_program(
-            ddg,
-            INT if ddg.values(INT) else ddg.register_types()[0],
-            prune_redundant_arcs=prune,
-            prune_noninterfering_pairs=prune,
-        )
-        stats = program.statistics()
-        points.append(
-            ModelSizePoint(
-                name=ddg.name,
-                nodes=info.ddg.n,
-                edges=info.ddg.m,
-                variables=stats["variables"],
-                binaries=stats["binary_variables"],
-                constraints=stats["constraints"],
-            )
-        )
-    return ModelSizeReport(points)
+    points = BatchEngine.coerce(engine).map(
+        _size_instance, [(ddg, prune) for ddg in graphs]
+    )
+    return ModelSizeReport(list(points))

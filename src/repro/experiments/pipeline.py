@@ -17,15 +17,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..allocation import linear_scan_allocate, schedule_with_spilling
+from ..analysis.context import context_for
 from ..codes.suite import SuiteEntry, benchmark_suite
 from ..core.machine import ProcessorModel, superscalar
 from ..core.types import RegisterType
 from ..reduction import reduce_saturation_heuristic
 from ..saturation import greedy_saturation, trivially_within_budget
 from ..scheduling import evaluate_schedule, list_schedule
+from .engine import BatchEngine
 from .reporting import format_table
 
 __all__ = ["PipelineOutcome", "PipelineReport", "run_pipeline", "run_pipeline_experiment"]
@@ -105,15 +107,25 @@ def run_pipeline(
     rtype: RegisterType,
     machine: ProcessorModel,
     registers: Optional[int] = None,
+    compare_baseline: bool = True,
 ) -> PipelineOutcome:
-    """Run the Figure-1 flow on one DAG/type and compare against the spill baseline."""
+    """Run the Figure-1 flow on one DAG/type and compare against the spill baseline.
+
+    The structural analyses (saturation, priorities, critical paths) are
+    shared through the graph's :class:`~repro.analysis.context.AnalysisContext`,
+    so the four stages query them once.  With ``compare_baseline=False`` the
+    schedule-then-spill baseline is skipped (its columns read 0) -- that is
+    the pure Figure-1 flow, which ``benchmarks/bench_analysis_cache.py``
+    times cached vs. uncached.
+    """
 
     start = time.perf_counter()
     budget = registers if registers is not None else machine.registers(rtype)
     ddg = entry.ddg
+    ctx = context_for(ddg)
 
     # Step 1: register saturation computation (skippable when |V_R,t| <= R_t).
-    rs_before = greedy_saturation(ddg, rtype).rs
+    rs_before = greedy_saturation(ddg, rtype, ctx=ctx).rs
     reduction_needed = not trivially_within_budget(ddg, rtype, budget) and rs_before > budget
 
     # Step 2: register saturation reduction (only when needed).
@@ -130,16 +142,23 @@ def run_pipeline(
         reduction_success = True
 
     # Step 3: resource-constrained scheduling, register-blind.
-    scheduled = working.with_bottom()
-    schedule = list_schedule(scheduled, machine)
+    scheduled_ctx = context_for(working).bottom()
+    scheduled = scheduled_ctx.ddg
+    schedule = list_schedule(scheduled, machine, ctx=scheduled_ctx)
     metrics = evaluate_schedule(scheduled, schedule)
 
     # Step 4: register allocation.
     allocation = linear_scan_allocate(scheduled, schedule, rtype, registers=budget)
 
     # Baseline: combined scheduling with iterative spilling.
-    baseline = schedule_with_spilling(ddg, rtype, budget, machine=machine)
-    baseline_metrics = evaluate_schedule(baseline.ddg.with_bottom(), baseline.schedule)
+    if compare_baseline:
+        baseline = schedule_with_spilling(ddg, rtype, budget, machine=machine)
+        baseline_metrics = evaluate_schedule(baseline.ddg.with_bottom(), baseline.schedule)
+        baseline_spills = len(baseline.spilled_values)
+        baseline_memory_ops = baseline.memory_operations_added
+        baseline_schedule_length = baseline_metrics.total_time
+    else:
+        baseline_spills = baseline_memory_ops = baseline_schedule_length = 0
 
     return PipelineOutcome(
         name=entry.name,
@@ -153,10 +172,21 @@ def run_pipeline(
         schedule_length=metrics.total_time,
         registers_used=allocation.registers_used,
         spill_free=allocation.success,
-        baseline_spills=len(baseline.spilled_values),
-        baseline_memory_ops=baseline.memory_operations_added,
-        baseline_schedule_length=baseline_metrics.total_time,
+        baseline_spills=baseline_spills,
+        baseline_memory_ops=baseline_memory_ops,
+        baseline_schedule_length=baseline_schedule_length,
         wall_time=time.perf_counter() - start,
+    )
+
+
+def _pipeline_instance(
+    task: Tuple[SuiteEntry, RegisterType, ProcessorModel, Optional[int], bool]
+) -> PipelineOutcome:
+    """Module-level batch worker (picklable for the process policy)."""
+
+    entry, rtype, machine, registers, compare_baseline = task
+    return run_pipeline(
+        entry, rtype, machine, registers=registers, compare_baseline=compare_baseline
     )
 
 
@@ -165,16 +195,24 @@ def run_pipeline_experiment(
     machine: Optional[ProcessorModel] = None,
     registers: Optional[int] = None,
     max_nodes: int = 40,
+    engine: Union[None, str, BatchEngine] = None,
+    compare_baseline: bool = True,
 ) -> PipelineReport:
-    """Run the pipeline experiment over the benchmark suite."""
+    """Run the pipeline experiment over the benchmark suite.
+
+    *engine* selects the batch execution policy (serial by default;
+    ``"thread"``/``"process"`` fan the instances out over workers while
+    keeping the report ordering identical to a serial run).
+    """
 
     if suite is None:
         suite = benchmark_suite(max_size=max_nodes)
     machine = machine or superscalar()
-    outcomes: List[PipelineOutcome] = []
-    for entry in suite:
-        if entry.size > max_nodes:
-            continue
-        for rtype in entry.ddg.register_types():
-            outcomes.append(run_pipeline(entry, rtype, machine, registers=registers))
-    return PipelineReport(outcomes)
+    tasks = [
+        (entry, rtype, machine, registers, compare_baseline)
+        for entry in suite
+        if entry.size <= max_nodes
+        for rtype in entry.ddg.register_types()
+    ]
+    outcomes = BatchEngine.coerce(engine).map(_pipeline_instance, tasks)
+    return PipelineReport(list(outcomes))

@@ -36,6 +36,7 @@ from .serialization import (
     has_positive_circuit,
     is_schedulable,
     legal_serialization,
+    prune_redundant_serial_arcs,
     serialization_edges,
     serialization_latency,
     would_remain_acyclic,
@@ -54,6 +55,7 @@ __all__ = [
     "serialization_edges",
     "serialization_latency",
     "apply_serialization",
+    "prune_redundant_serial_arcs",
     "legal_serialization",
     "would_remain_acyclic",
     "is_schedulable",

@@ -38,7 +38,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.graphalgo import critical_path_length, worst_case_total_time
+from ..analysis.context import context_for
+from ..analysis.graphalgo import critical_path_length
 from ..core.graph import DDG, Edge
 from ..core.lifetime import register_need, value_lifetimes
 from ..core.machine import ProcessorModel
@@ -52,6 +53,7 @@ from .result import ReductionResult
 from .serialization import (
     SerializationMode,
     apply_serialization,
+    prune_redundant_serial_arcs,
     serialization_edges,
     would_remain_acyclic,
 )
@@ -154,6 +156,7 @@ def serialize_from_schedule(
     schedule: Schedule,
     rtype: RegisterType | str,
     mode: str = SerializationMode.OFFSETS,
+    prune_redundant: bool = False,
 ) -> Tuple[DDG, List[Edge], List[Tuple[Value, Value]]]:
     """Add the Theorem-4.2 arcs that freeze the lifetime precedences of *schedule*.
 
@@ -164,6 +167,11 @@ def serialize_from_schedule(
     so the caller can verify/report; with arcs derived from an actual
     schedule this only happens in exotic offset configurations.
 
+    With *prune_redundant* (off by default for this low-level primitive, on
+    in the reduction passes) the serial arcs of *ddg* that are already
+    implied by its transitive closure are dropped first; pruning preserves
+    the set of valid schedules, so the witness stays a witness.
+
     Returns ``(extended graph, added arcs, skipped pairs)``.
     """
 
@@ -173,6 +181,9 @@ def serialize_from_schedule(
     values = sorted(intervals, key=lambda v: (intervals[v].birth, v.node))
 
     extended = g.copy(name=f"{ddg.name}+serialized")
+    if prune_redundant:
+        extended, _ = prune_redundant_serial_arcs(extended)
+        extended.name = f"{ddg.name}+serialized"
     added: List[Edge] = []
     skipped: List[Tuple[Value, Value]] = []
     for u in values:
@@ -189,6 +200,9 @@ def serialize_from_schedule(
                     continue
                 extended = apply_serialization(extended, edges)
                 added.extend(edges)
+    assert extended.is_acyclic(), (
+        f"serializing {ddg.name!r} must keep the DDG acyclic"
+    )
     return extended, added, skipped
 
 
@@ -202,6 +216,7 @@ def reduce_saturation_exact(
     backend: str = "scipy",
     time_limit: Optional[float] = None,
     verify: bool = False,
+    prune_redundant: bool = True,
 ) -> ReductionResult:
     """Optimal register-saturation reduction (Section 4 of the paper).
 
@@ -225,7 +240,7 @@ def reduce_saturation_exact(
 
     # Critical paths are measured on bottom-normalised graphs (completion
     # time), the same convention as the heuristic so ILP losses compare.
-    original_cp = critical_path_length(ddg.with_bottom())
+    original_cp = context_for(ddg).bottom().critical_path_length()
     baseline = greedy_saturation(ddg, rtype)
 
     schedule, solution, info = solve_src(
@@ -244,7 +259,9 @@ def reduce_saturation_exact(
         )
 
     achieved_need = register_need(info.ddg, schedule, rtype)
-    extended, added, skipped = serialize_from_schedule(info.ddg, schedule, rtype, mode=mode)
+    extended, added, skipped = serialize_from_schedule(
+        info.ddg, schedule, rtype, mode=mode, prune_redundant=prune_redundant
+    )
     cp_after = critical_path_length(extended)
 
     details: Dict[str, object] = {

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.context import context_for
 from ..analysis.graphalgo import critical_path_length
 from ..core.graph import DDG, Edge
 from ..core.machine import ProcessorModel
@@ -37,6 +38,7 @@ from .serialization import (
     SerializationMode,
     apply_serialization,
     legal_serialization,
+    prune_redundant_serial_arcs,
 )
 
 __all__ = ["reduce_saturation_heuristic"]
@@ -69,8 +71,7 @@ def _evaluate_candidate(
         # Already implied by the graph: it cannot change the saturation,
         # applying it would loop forever.
         return None
-    extended = apply_serialization(ddg, edges)
-    cp_after = critical_path_length(extended)
+    cp_after = context_for(ddg).critical_path_with_edges(edges)
     return cp_after - base_cp, edges
 
 
@@ -82,6 +83,7 @@ def reduce_saturation_heuristic(
     mode: Optional[str] = None,
     max_iterations: Optional[int] = None,
     raise_on_failure: bool = False,
+    prune_redundant: bool = True,
 ) -> ReductionResult:
     """Reduce the register saturation of *rtype* below *registers* by value serialization.
 
@@ -103,6 +105,10 @@ def reduce_saturation_heuristic(
     raise_on_failure:
         Raise :class:`~repro.errors.SpillRequiredError` instead of returning
         an unsuccessful result when the budget cannot be reached.
+    prune_redundant:
+        Drop the serial arcs already implied by the transitive closure
+        before serializing (they cannot change any schedule but slow every
+        candidate evaluation down).
 
     Returns
     -------
@@ -125,9 +131,13 @@ def reduce_saturation_heuristic(
     # The critical path is measured on the bottom-normalised graph so that it
     # represents a completion time (issue time of ⊥) and is directly
     # comparable with the optimal method's ILP loss.
-    original_cp = critical_path_length(ddg.with_bottom())
-    initial = greedy_saturation(ddg, rtype)
+    ctx = context_for(ddg)
+    original_cp = ctx.bottom().critical_path_length()
+    initial = greedy_saturation(ddg, rtype, ctx=ctx)
     current = ddg.copy(name=f"{ddg.name}+reduced")
+    pruned: List[Edge] = []
+    if prune_redundant:
+        current, pruned = prune_redundant_serial_arcs(current)
     current_rs: SaturationResult = initial
     added: List[Edge] = []
     if max_iterations is None:
@@ -137,7 +147,7 @@ def reduce_saturation_heuristic(
     stuck = False
     while current_rs.rs > registers and iterations < max_iterations:
         iterations += 1
-        base_cp = critical_path_length(current)
+        base_cp = context_for(current).critical_path_length()
         best: Optional[Tuple[Tuple[int, int], List[Edge]]] = None
         saturating = list(current_rs.saturating_values)
         for before, after in _candidate_pairs(saturating):
@@ -152,6 +162,9 @@ def reduce_saturation_heuristic(
             stuck = True
             break
         current = apply_serialization(current, best[1])
+        assert current.is_acyclic(), (
+            f"serializing {ddg.name!r} must keep the DDG acyclic"
+        )
         added.extend(best[1])
         current_rs = greedy_saturation(current, rtype)
 
@@ -171,13 +184,14 @@ def reduce_saturation_heuristic(
         extended_ddg=current,
         added_edges=tuple(added),
         critical_path_before=original_cp,
-        critical_path_after=critical_path_length(current.with_bottom()),
+        critical_path_after=context_for(current).bottom().critical_path_length(),
         method="value-serialization",
         optimal=False,
         wall_time=time.perf_counter() - start,
         details={
             "iterations": iterations,
             "stuck": stuck,
+            "pruned_redundant_arcs": len(pruned),
             "serialization_mode": mode,
             "initial_saturating_values": [str(v) for v in initial.saturating_values],
         },

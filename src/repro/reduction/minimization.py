@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..analysis.context import context_for
 from ..analysis.graphalgo import critical_path_length
 from ..core.graph import DDG
 from ..core.lifetime import register_need
@@ -63,8 +64,9 @@ def minimize_register_need(
     if mode is None:
         mode = SerializationMode.OFFSETS
 
-    g = ddg.with_bottom()
-    deadline = critical_path_length(g)
+    bottom_ctx = context_for(ddg).bottom()
+    g = bottom_ctx.ddg
+    deadline = bottom_ctx.critical_path_length()
     baseline = greedy_saturation(ddg, rtype)
     asap_need = register_need(g, asap_schedule(g), rtype)
     if asap_need == 0:
@@ -108,7 +110,9 @@ def minimize_register_need(
             f"could not find a schedule of {ddg.name!r} within its critical path"
         )
 
-    extended, added, skipped = serialize_from_schedule(g, schedule, rtype, mode=mode)
+    extended, added, skipped = serialize_from_schedule(
+        g, schedule, rtype, mode=mode, prune_redundant=True
+    )
     achieved = register_need(g, schedule, rtype)
     return ReductionResult(
         rtype=rtype,

@@ -26,6 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..analysis.context import context_for
+from ..analysis.graphalgo import is_redundant_edge
+from ..analysis.graphalgo import would_remain_acyclic as graphalgo_would_remain_acyclic
 from ..core.graph import DDG, Edge
 from ..core.machine import ArchitectureFamily, ProcessorModel
 from ..core.types import BOTTOM, DependenceKind, RegisterType, Value, canonical_type
@@ -36,6 +39,7 @@ __all__ = [
     "serialization_latency",
     "serialization_edges",
     "apply_serialization",
+    "prune_redundant_serial_arcs",
     "would_remain_acyclic",
     "has_positive_circuit",
     "is_schedulable",
@@ -125,32 +129,41 @@ def apply_serialization(ddg: DDG, edges: Iterable[Edge]) -> DDG:
     return g
 
 
+def prune_redundant_serial_arcs(ddg: DDG) -> Tuple[DDG, List[Edge]]:
+    """Drop the serial arcs whose constraint is implied by the transitive closure.
+
+    The reduction passes call this before adding new serialization arcs:
+    carrying redundant arcs around makes every candidate evaluation (graph
+    copy + critical path) more expensive without changing the set of valid
+    schedules.  Flow arcs are never dropped (they carry the register-type
+    information of the lifetime analysis).
+
+    Arcs are re-verified one by one against the current graph because two
+    redundant arcs can be redundant only thanks to each other; removing them
+    simultaneously could relax the scheduling constraints.  Removing arcs
+    never *creates* redundancy, so a single verified pass suffices.
+
+    Returns ``(pruned copy, removed arcs)``; the result is asserted acyclic.
+    """
+
+    g = ddg.copy()
+    removed: List[Edge] = []
+    for edge in context_for(ddg).redundant_edges():
+        if is_redundant_edge(g, edge):
+            g.remove_edge(edge)
+            removed.append(edge)
+    assert g.is_acyclic(), f"pruning {ddg.name!r} must keep the graph a DAG"
+    return g, removed
+
+
 def would_remain_acyclic(ddg: DDG, edges: Sequence[Edge]) -> bool:
     """True when adding *edges* keeps the graph a DAG.
 
-    Rather than copying the graph, the check looks for a path from each arc's
-    head back to its tail among the existing arcs plus the tentative ones.
+    Delegates to :func:`repro.analysis.graphalgo.would_remain_acyclic`, the
+    single implementation also backing the context's incremental check.
     """
 
-    extra_succ = {}
-    for e in edges:
-        extra_succ.setdefault(e.src, set()).add(e.dst)
-
-    def reaches(start: str, goal: str) -> bool:
-        seen: Set[str] = {start}
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            if node == goal:
-                return True
-            nexts = set(ddg.successors(node)) | extra_succ.get(node, set())
-            for w in nexts:
-                if w not in seen:
-                    seen.add(w)
-                    stack.append(w)
-        return False
-
-    return not any(reaches(e.dst, e.src) for e in edges)
+    return graphalgo_would_remain_acyclic(ddg, edges)
 
 
 def has_positive_circuit(ddg: DDG) -> bool:
@@ -206,7 +219,7 @@ def legal_serialization(
         # Nothing to add: either already implied or the value has no reader.
         return []
     if require_dag:
-        if not would_remain_acyclic(ddg, edges):
+        if not context_for(ddg).remains_acyclic_with_edges(edges):
             return None
         return edges
     candidate = apply_serialization(ddg, edges)

@@ -12,9 +12,9 @@ experiment harness skip intLP solves that cannot change a conclusion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
-from ..analysis.graphalgo import asap_times, critical_path_length
+from ..analysis.context import AnalysisContext, context_for
 from ..core.graph import DDG
 from ..core.lifetime import register_need
 from ..core.schedule import asap_schedule, list_schedule_priority, sequential_schedule
@@ -40,11 +40,17 @@ class SaturationBounds:
         return self.lower == self.upper
 
 
-def saturation_bounds(ddg: DDG, rtype: RegisterType | str) -> SaturationBounds:
+def saturation_bounds(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    ctx: Optional[AnalysisContext] = None,
+) -> SaturationBounds:
     """Compute cheap lower/upper bounds of the register saturation of *rtype*."""
 
     rtype = canonical_type(rtype)
-    g = ddg.with_bottom()
+    ctx = ctx if ctx is not None else context_for(ddg)
+    bottom_ctx = ctx.bottom()
+    g = bottom_ctx.ddg
     values = g.values(rtype)
     upper = len(values)
     if upper == 0:
@@ -54,8 +60,8 @@ def saturation_bounds(ddg: DDG, rtype: RegisterType | str) -> SaturationBounds:
 
     # A schedule that issues value producers eagerly and value consumers
     # lazily stretches lifetimes and usually produces a better lower bound.
-    asap = asap_times(g)
-    horizon = critical_path_length(g) + 1
+    asap = bottom_ctx.asap_times()
+    horizon = bottom_ctx.critical_path_length() + 1
 
     def stretch_priority(node: str) -> float:
         op = g.operation(node)

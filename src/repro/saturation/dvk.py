@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..analysis.antichain import maximum_antichain
-from ..analysis.graphalgo import NEG_INF, longest_paths_from
+from ..analysis.context import context_for
+from ..analysis.graphalgo import NEG_INF, transitive_closure_of_relation
 from ..core.graph import DDG
 from ..core.types import RegisterType, Value, canonical_type
 from .pkill import KillingFunction, killed_graph
@@ -68,26 +69,6 @@ class DisjointValueDAG:
         return len(self.maximum_antichain())
 
 
-def _transitive_closure(
-    values: Sequence[Value], edges: Set[Tuple[Value, Value]]
-) -> Set[Tuple[Value, Value]]:
-    succ: Dict[Value, Set[Value]] = {v: set() for v in values}
-    for u, v in edges:
-        succ[u].add(v)
-    closure: Set[Tuple[Value, Value]] = set()
-    for start in values:
-        stack = list(succ[start])
-        seen: Set[Value] = set()
-        while stack:
-            node = stack.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            closure.add((start, node))
-            stack.extend(succ[node])
-    return closure
-
-
 def disjoint_value_dag(
     ddg: DDG,
     kf: KillingFunction,
@@ -112,10 +93,12 @@ def disjoint_value_dag(
     if killed is None:
         killed = killed_graph(ddg, kf)
 
-    # Longest paths are only needed from killer nodes.
+    # Longest paths are only needed from killer nodes; the killed graph's
+    # context shares one topological sort across all of them.
+    killed_ctx = context_for(killed)
     killers = sorted({killer for killer in kf.mapping.values()})
     lp_from_killer: Dict[str, Mapping[str, float]] = {
-        killer: longest_paths_from(killed, killer) for killer in killers
+        killer: killed_ctx.longest_paths_from(killer) for killer in killers
     }
 
     edges: Set[Tuple[Value, Value]] = set()
@@ -140,7 +123,7 @@ def disjoint_value_dag(
             if dist >= killer_read - ddg.operation(v.node).delta_w:
                 edges.add((u, v))
 
-    closure = _transitive_closure(values, edges)
+    closure = transitive_closure_of_relation(values, edges)
     return DisjointValueDAG(rtype, values, frozenset(edges), frozenset(closure))
 
 

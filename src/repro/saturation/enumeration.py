@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..analysis.context import context_for
 from ..core.graph import DDG
 from ..core.lifetime import register_need, value_lifetimes, max_simultaneously_alive
 from ..core.schedule import enumerate_schedules
@@ -46,7 +47,7 @@ def saturation_by_schedule_enumeration(
 
     start = time.perf_counter()
     rtype = canonical_type(rtype)
-    g = ddg.with_bottom()
+    g = context_for(ddg).bottom().ddg
     best = 0
     witness = None
     witness_values = ()
@@ -88,7 +89,7 @@ def saturation_by_killing_enumeration(
 
     start = time.perf_counter()
     rtype = canonical_type(rtype)
-    g = ddg.with_bottom()
+    g = context_for(ddg).bottom().ddg
     best = 0
     best_values = ()
     best_kf = None

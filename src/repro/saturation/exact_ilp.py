@@ -45,13 +45,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from ..analysis.graphalgo import (
-    NEG_INF,
-    asap_times,
-    longest_path_matrix,
-    longest_path_to_sinks,
-    worst_case_total_time,
-)
+from ..analysis.context import context_for
+from ..analysis.graphalgo import NEG_INF
 from ..core.graph import DDG
 from ..core.lifetime import register_need
 from ..core.schedule import Schedule
@@ -190,15 +185,16 @@ def build_interference_core(
     """
 
     rtype = canonical_type(rtype)
-    g = ddg.with_bottom()
+    bottom_ctx = context_for(ddg).bottom()
+    g = bottom_ctx.ddg
     if horizon is None:
-        horizon = worst_case_total_time(g)
+        horizon = bottom_ctx.worst_case_total_time()
     info = RSModelInfo(g, rtype, horizon)
     program = IntegerProgram(f"{name}[{g.name}:{rtype.name}]")
 
-    lp = longest_path_matrix(g)
-    asap = asap_times(g)
-    to_sinks = longest_path_to_sinks(g)
+    lp = bottom_ctx.longest_path_matrix()
+    asap = bottom_ctx.asap_times()
+    to_sinks = bottom_ctx.longest_path_to_sinks()
 
     # ------------------------------------------------------------------ #
     # Scheduling variables and precedence constraints

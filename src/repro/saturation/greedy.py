@@ -32,7 +32,7 @@ import itertools
 import time
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..analysis.graphalgo import asap_times, critical_path_length, descendants_map
+from ..analysis.context import AnalysisContext, context_for
 from ..core.graph import DDG
 from ..core.lifetime import register_need
 from ..core.schedule import Schedule, asap_schedule, list_schedule_priority
@@ -160,12 +160,17 @@ def _choose_killing_set(
     return chosen
 
 
-def greedy_killing_function(ddg: DDG, rtype: RegisterType | str) -> KillingFunction:
+def greedy_killing_function(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    ctx: Optional[AnalysisContext] = None,
+) -> KillingFunction:
     """The killing function selected by the Greedy-k heuristic (before fallback)."""
 
     rtype = canonical_type(rtype)
-    pk = potential_killers_map(ddg, rtype)
-    desc = descendants_map(ddg, include_self=False)
+    ctx = ctx if ctx is not None else context_for(ddg)
+    pk = potential_killers_map(ddg, rtype, ctx)
+    desc = ctx.descendants_map(include_self=False)
     value_nodes = {v.node for v in pk}
     desc_values = {
         killer: _descendant_values(desc, killer, value_nodes)
@@ -188,7 +193,9 @@ def greedy_killing_function(ddg: DDG, rtype: RegisterType | str) -> KillingFunct
 # --------------------------------------------------------------------------- #
 # Candidate killing functions and the public entry point
 # --------------------------------------------------------------------------- #
-def _keep_alive_schedule(ddg: DDG, rtype: RegisterType) -> Schedule:
+def _keep_alive_schedule(
+    ddg: DDG, rtype: RegisterType, ctx: Optional[AnalysisContext] = None
+) -> Schedule:
     """A schedule biased towards keeping many values of *rtype* alive.
 
     Producers of values are issued as early as possible (high priority) and
@@ -197,8 +204,9 @@ def _keep_alive_schedule(ddg: DDG, rtype: RegisterType) -> Schedule:
     generator for the heuristic.
     """
 
-    asap = asap_times(ddg)
-    horizon = critical_path_length(ddg) + 1
+    ctx = ctx if ctx is not None else context_for(ddg)
+    asap = ctx.asap_times()
+    horizon = ctx.critical_path_length() + 1
 
     def priority(node: str) -> float:
         op = ddg.operation(node)
@@ -215,6 +223,7 @@ def greedy_saturation(
     ddg: DDG,
     rtype: RegisterType | str,
     extra_candidates: bool = True,
+    ctx: Optional[AnalysisContext] = None,
 ) -> SaturationResult:
     """Approximate the register saturation ``RS_t(G)`` with the Greedy-k heuristic.
 
@@ -229,6 +238,11 @@ def greedy_saturation(
         Also evaluate schedule-induced killing functions (ASAP and a
         keep-alive biased schedule) and keep the best antichain.  This is a
         cheap polish that never invalidates the lower-bound property.
+    ctx:
+        Optional shared :class:`~repro.analysis.context.AnalysisContext` of
+        *ddg*.  The final result is memoized on it, so the pipeline stages
+        and the reduction pass asking for the same saturation pay for one
+        computation.
 
     Returns
     -------
@@ -239,15 +253,29 @@ def greedy_saturation(
         happens to be exact.
     """
 
-    start = time.perf_counter()
     rtype = canonical_type(rtype)
-    g = ddg.with_bottom()
+    ctx = ctx if ctx is not None else context_for(ddg)
+    return ctx.memo(
+        ("greedy_saturation", rtype, extra_candidates),
+        lambda: _greedy_saturation_uncached(ddg, rtype, extra_candidates, ctx),
+    )
+
+
+def _greedy_saturation_uncached(
+    ddg: DDG,
+    rtype: RegisterType,
+    extra_candidates: bool,
+    ctx: AnalysisContext,
+) -> SaturationResult:
+    start = time.perf_counter()
+    bottom_ctx = ctx.bottom()
+    g = bottom_ctx.ddg
     values = g.values(rtype)
     if not values:
         return SaturationResult(rtype, 0, method="greedy-k", wall_time=time.perf_counter() - start)
 
     candidates: List[Tuple[str, KillingFunction]] = []
-    greedy_kf = greedy_killing_function(g, rtype)
+    greedy_kf = greedy_killing_function(g, rtype, ctx=bottom_ctx)
     candidates.append(("greedy-k", greedy_kf))
     if extra_candidates:
         candidates.append(
@@ -259,7 +287,9 @@ def greedy_saturation(
         candidates.append(
             (
                 "keep-alive-induced",
-                killing_function_from_schedule(g, _keep_alive_schedule(g, rtype), rtype),
+                killing_function_from_schedule(
+                    g, _keep_alive_schedule(g, rtype, ctx=bottom_ctx), rtype
+                ),
             )
         )
 
@@ -270,7 +300,9 @@ def greedy_saturation(
     fallback_used = False
     for label, kf in candidates:
         killed = killed_graph(g, kf)
-        if not killed.is_acyclic():
+        # Through the killed graph's context the acyclicity check shares its
+        # topological sort with the disjoint-value DAG construction below.
+        if not context_for(killed).is_acyclic():
             fallback_used = True
             continue
         antichain, _ = saturating_antichain(g, kf, killed)

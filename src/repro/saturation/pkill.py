@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..analysis.graphalgo import descendants_map, longest_path_matrix
+from ..analysis.context import AnalysisContext, context_for
 from ..core.graph import DDG, Edge
 from ..core.schedule import Schedule
 from ..core.types import DependenceKind, RegisterType, Value, canonical_type
@@ -54,7 +54,7 @@ def potential_killers(
 
     consumers = ddg.consumers(value.node, value.rtype)
     if desc is None:
-        desc = descendants_map(ddg, include_self=True)
+        desc = context_for(ddg).descendants_map(include_self=True)
     cons_set = set(consumers)
     out = []
     for v in consumers:
@@ -64,15 +64,28 @@ def potential_killers(
 
 
 def potential_killers_map(
-    ddg: DDG, rtype: RegisterType | str
+    ddg: DDG,
+    rtype: RegisterType | str,
+    ctx: Optional[AnalysisContext] = None,
 ) -> Dict[Value, List[str]]:
-    """``pkill`` for every value of type *rtype* (single reachability sweep)."""
+    """``pkill`` for every value of type *rtype* (single reachability sweep).
+
+    The map is memoized on the graph's shared
+    :class:`~repro.analysis.context.AnalysisContext`: the Greedy-k heuristic
+    rebuilds it for every candidate killing function, and before the context
+    existed that dominated its runtime.
+    """
 
     rtype = canonical_type(rtype)
-    desc = descendants_map(ddg, include_self=True)
-    return {
-        value: potential_killers(ddg, value, desc) for value in ddg.values(rtype)
-    }
+    ctx = ctx if ctx is not None else context_for(ddg)
+
+    def compute() -> Dict[Value, List[str]]:
+        desc = ctx.descendants_map(include_self=True)
+        return {
+            value: potential_killers(ddg, value, desc) for value in ddg.values(rtype)
+        }
+
+    return ctx.memo(("pkill", rtype), compute)
 
 
 @dataclass(frozen=True)
@@ -200,10 +213,8 @@ def canonical_killing_function(ddg: DDG, rtype: RegisterType | str) -> KillingFu
     function if needed.
     """
 
-    from ..analysis.graphalgo import asap_times
-
     rtype = canonical_type(rtype)
-    depth = asap_times(ddg)
+    depth = context_for(ddg).asap_times()
     pk = potential_killers_map(ddg, rtype)
     mapping = {
         value: max(killers, key=lambda v: (depth[v], v))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..analysis.graphalgo import longest_path_to_sinks
+from ..analysis.context import AnalysisContext, context_for
 from ..core.graph import DDG
 from ..core.lifetime import register_need
 from ..core.machine import ProcessorModel, superscalar
@@ -33,6 +33,7 @@ def list_schedule(
     ddg: DDG,
     machine: Optional[ProcessorModel] = None,
     priority: Optional[Dict[str, float]] = None,
+    ctx: Optional[AnalysisContext] = None,
 ) -> Schedule:
     """Critical-path list scheduling under resource constraints.
 
@@ -40,14 +41,17 @@ def list_schedule(
     are issued greedily, highest priority first; the default priority is the
     longest latency path to the sinks (critical-path scheduling).  Negative
     latency serial arcs (possible on reduced VLIW graphs) are honoured as
-    ordinary precedence constraints.
+    ordinary precedence constraints.  An :class:`AnalysisContext` may be
+    passed to reuse the priorities/topological order the earlier pipeline
+    stages already computed.
     """
 
     machine = machine or superscalar()
+    ctx = ctx if ctx is not None else context_for(ddg)
     if priority is None:
-        priority = longest_path_to_sinks(ddg)
+        priority = ctx.longest_path_to_sinks()
 
-    order = ddg.topological_order()
+    order = ctx.topological_order()
     table = ReservationTable(machine)
     times: Dict[str, int] = {}
     pending = set(order)
@@ -99,8 +103,9 @@ def register_pressure_aware_schedule(
 
     rtype = canonical_type(rtype)
     machine = machine or superscalar()
-    priority = longest_path_to_sinks(ddg)
-    order = ddg.topological_order()
+    ctx = context_for(ddg)
+    priority = ctx.longest_path_to_sinks()
+    order = ctx.topological_order()
     table = ReservationTable(machine)
     times: Dict[str, int] = {}
     pending = set(order)

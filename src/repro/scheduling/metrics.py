@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..analysis.graphalgo import critical_path_length
+from ..analysis.context import context_for
 from ..core.graph import DDG
 from ..core.lifetime import register_need_all_types
 from ..core.machine import ProcessorModel
@@ -44,7 +44,8 @@ class ScheduleMetrics:
 def evaluate_schedule(ddg: DDG, schedule: Schedule) -> ScheduleMetrics:
     """Compute the metrics of *schedule* on *ddg* (bottom-normalised internally)."""
 
-    g = ddg.with_bottom() if not ddg.has_bottom else ddg
+    bottom_ctx = context_for(ddg).bottom()
+    g = bottom_ctx.ddg
     needs = {
         rtype.name: need for rtype, need in register_need_all_types(g, schedule).items()
     }
@@ -52,7 +53,7 @@ def evaluate_schedule(ddg: DDG, schedule: Schedule) -> ScheduleMetrics:
         makespan=schedule.makespan,
         total_time=schedule.total_time(g),
         register_needs=needs,
-        critical_path=critical_path_length(g),
+        critical_path=bottom_ctx.critical_path_length(),
     )
 
 
@@ -63,6 +64,7 @@ def ilp_loss(original: DDG, extended: DDG) -> int:
     the convention of :class:`repro.reduction.result.ReductionResult`.
     """
 
-    return critical_path_length(extended.with_bottom()) - critical_path_length(
-        original.with_bottom()
+    return (
+        context_for(extended).bottom().critical_path_length()
+        - context_for(original).bottom().critical_path_length()
     )

@@ -1,0 +1,182 @@
+"""Property tests for the memoized AnalysisContext.
+
+Every cached query must equal the corresponding uncached
+:mod:`repro.analysis.graphalgo` function on the same graph -- before and
+after mutations, through ``with_edges`` derivations, and with caching
+globally disabled.  Random layered DAGs provide the property-test
+population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    caching_disabled,
+    caching_enabled,
+    context_for,
+)
+from repro.analysis import graphalgo
+from repro.codes.generator import layered_random_ddg, random_loop_body
+from repro.core import DDG, Edge
+from repro.core.types import DependenceKind
+from repro.reduction import would_remain_acyclic
+from repro.saturation.pkill import potential_killers_map
+
+SEEDS = [3, 17, 42, 99]
+
+
+def random_ddgs():
+    graphs = [
+        layered_random_ddg(nodes=14 + 2 * s % 9, layers=4, edge_probability=0.35, seed=s)
+        for s in SEEDS
+    ]
+    graphs += [random_loop_body(operations=12, seed=s) for s in SEEDS[:2]]
+    return graphs
+
+
+def assert_context_matches_graphalgo(ctx: AnalysisContext, ddg: DDG) -> None:
+    """The central property: every cached answer equals the uncached one."""
+
+    assert ctx.topological_order() == ddg.topological_order()
+    assert ctx.longest_path_matrix() == graphalgo.longest_path_matrix(ddg)
+    assert ctx.longest_path_to_sinks() == graphalgo.longest_path_to_sinks(ddg)
+    assert ctx.critical_path_length() == graphalgo.critical_path_length(ddg)
+    assert ctx.asap_times() == graphalgo.asap_times(ddg)
+    assert ctx.alap_times() == graphalgo.alap_times(ddg)
+    horizon = ctx.critical_path_length() + 3
+    assert ctx.alap_times(horizon) == graphalgo.alap_times(ddg, horizon)
+    assert ctx.worst_case_total_time() == graphalgo.worst_case_total_time(ddg)
+    for include_self in (True, False):
+        assert ctx.descendants_map(include_self) == graphalgo.descendants_map(
+            ddg, include_self=include_self
+        )
+    assert ctx.reachability_matrix() == graphalgo.reachability_matrix(ddg)
+    assert ctx.transitive_closure_pairs() == graphalgo.transitive_closure_pairs(ddg)
+    assert sorted(map(str, ctx.redundant_edges())) == sorted(
+        map(str, graphalgo.redundant_edges(ddg))
+    )
+    for node in list(ddg.nodes())[:5]:
+        assert dict(ctx.longest_paths_from(node)) == graphalgo.longest_paths_from(
+            ddg, node
+        )
+        assert ctx.descendants(node) == graphalgo.descendants(ddg, node)
+        assert ctx.ancestors(node) == graphalgo.ancestors(ddg, node)
+    assert ctx.is_acyclic() == ddg.is_acyclic()
+
+
+def serializable_pair(ddg: DDG):
+    """A comparable (u before v) node pair usable for an acyclic serial arc."""
+
+    order = ddg.topological_order()
+    return order[0], order[-1]
+
+
+class TestContextEqualsGraphalgo:
+    @pytest.mark.parametrize("ddg", random_ddgs(), ids=lambda g: g.name)
+    def test_cached_queries_match_uncached(self, ddg):
+        assert_context_matches_graphalgo(context_for(ddg), ddg)
+
+    @pytest.mark.parametrize("ddg", random_ddgs()[:3], ids=lambda g: g.name)
+    def test_queries_match_after_in_place_mutation(self, ddg):
+        ctx = context_for(ddg)
+        before = ctx.critical_path_length()  # populate the caches
+        assert before == graphalgo.critical_path_length(ddg)
+        u, v = serializable_pair(ddg)
+        ddg.add_serial_edge(u, v, latency=before + 5)
+        # The version bump must invalidate every cached analysis.
+        assert_context_matches_graphalgo(ctx, ddg)
+        assert ctx.critical_path_length() >= before + 5
+
+    def test_explicit_invalidation(self):
+        ddg = layered_random_ddg(nodes=12, layers=3, seed=7)
+        ctx = context_for(ddg)
+        marker = ctx.memo("probe", lambda: object())
+        assert ctx.memo("probe", lambda: object()) is marker
+        ctx.invalidate()
+        assert ctx.memo("probe", lambda: object()) is not marker
+
+    @pytest.mark.parametrize("ddg", random_ddgs()[:3], ids=lambda g: g.name)
+    def test_with_edges_derivation(self, ddg):
+        ctx = context_for(ddg)
+        u, v = serializable_pair(ddg)
+        edge = Edge(u, v, 2, DependenceKind.SERIAL, None)
+        extended_ctx = ctx.with_edges([edge])
+        assert extended_ctx is not ctx
+        assert extended_ctx.ddg is not ddg
+        # The derivation matches an independently built extended graph ...
+        reference = ddg.copy()
+        reference.add_edge(edge)
+        assert_context_matches_graphalgo(extended_ctx, reference)
+        # ... and the original context stays valid and untouched.
+        assert_context_matches_graphalgo(ctx, ddg)
+
+    @pytest.mark.parametrize("ddg", random_ddgs()[:3], ids=lambda g: g.name)
+    def test_incremental_queries_match_materialised_extension(self, ddg):
+        ctx = context_for(ddg)
+        order = ctx.topological_order()
+        candidates = [
+            Edge(order[0], order[-1], 3, DependenceKind.SERIAL, None),
+            Edge(order[1], order[-1], 0, DependenceKind.SERIAL, None),
+            Edge(order[-1], order[0], 1, DependenceKind.SERIAL, None),  # cyclic
+        ]
+        for edges in ([candidates[0]], candidates[:2], [candidates[2]]):
+            expected_acyclic = would_remain_acyclic(ddg, edges)
+            assert ctx.remains_acyclic_with_edges(edges) == expected_acyclic
+            if expected_acyclic:
+                extended = ddg.copy()
+                for e in edges:
+                    extended.add_edge(e)
+                assert ctx.critical_path_with_edges(edges) == (
+                    graphalgo.critical_path_length(extended)
+                )
+
+
+class TestContextSharing:
+    def test_context_for_is_shared_per_graph(self):
+        ddg = layered_random_ddg(nodes=10, layers=3, seed=5)
+        assert context_for(ddg) is context_for(ddg)
+        assert context_for(ddg.copy()) is not context_for(ddg)
+
+    def test_cached_objects_are_reused(self):
+        ddg = layered_random_ddg(nodes=10, layers=3, seed=6)
+        ctx = context_for(ddg)
+        assert ctx.longest_path_matrix() is ctx.longest_path_matrix()
+        assert ctx.descendants_map() is ctx.descendants_map()
+
+    def test_bottom_context_is_shared_and_normalised(self):
+        ddg = layered_random_ddg(nodes=10, layers=3, seed=8)
+        bottom_ctx = context_for(ddg).bottom()
+        assert bottom_ctx.ddg.has_bottom
+        assert bottom_ctx is context_for(ddg).bottom()
+        assert context_for(bottom_ctx.ddg) is bottom_ctx
+        assert bottom_ctx.bottom() is bottom_ctx
+        reference = ddg.with_bottom()
+        assert bottom_ctx.ddg.n == reference.n
+        assert bottom_ctx.ddg.m == reference.m
+
+    def test_caching_disabled_contexts_are_passthrough(self):
+        ddg = layered_random_ddg(nodes=10, layers=3, seed=9)
+        assert caching_enabled()
+        with caching_disabled():
+            assert not caching_enabled()
+            ctx = context_for(ddg)
+            assert not ctx.enabled
+            assert ctx is not context_for(ddg)
+            assert_context_matches_graphalgo(ctx, ddg)
+            # Disabled contexts recompute: no object identity between calls.
+            assert ctx.longest_path_matrix() is not ctx.longest_path_matrix()
+        assert caching_enabled()
+
+    def test_higher_layer_memo_follows_graph_version(self):
+        ddg = layered_random_ddg(nodes=12, layers=3, seed=10)
+        rtype = ddg.register_types()[0]
+        first = potential_killers_map(ddg, rtype)
+        assert potential_killers_map(ddg, rtype) is first
+        u, v = serializable_pair(ddg)
+        ddg.add_serial_edge(u, v, latency=1)
+        refreshed = potential_killers_map(ddg, rtype)
+        assert refreshed is not first
+        with caching_disabled():
+            assert potential_killers_map(ddg, rtype) == refreshed
