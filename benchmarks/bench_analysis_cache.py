@@ -68,8 +68,12 @@ def test_analysis_cache_speedup(benchmark):
     )
     # Single-round wall-clock ratios are noisy on shared CI runners;
     # REPRO_CACHE_SPEEDUP_MIN lets CI gate on a regression guard while the
-    # local/default threshold states the actual claim.
-    minimum = float(os.environ.get("REPRO_CACHE_SPEEDUP_MIN", "2.0"))
+    # local/default threshold states the actual claim.  The claim dropped
+    # from 2x when the incremental ReductionSession landed: the session
+    # keeps its own warm analyses (independent of the context cache), so
+    # the "uncached" pipeline is no longer as slow as the seed was --
+    # bench_reduction_incremental.py now carries the reduction-path claim.
+    minimum = float(os.environ.get("REPRO_CACHE_SPEEDUP_MIN", "1.5"))
     assert speedup >= minimum, (
         f"expected the cached pipeline to be >= {minimum:.1f}x faster, got {speedup:.2f}x"
     )

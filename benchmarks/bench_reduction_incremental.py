@@ -1,0 +1,211 @@
+"""Benchmark: the incremental reduction session vs the from-scratch loop.
+
+The value-serialization heuristic (``RS*``) is the pass the paper runs over
+whole benchmark suites, and it historically copied the DDG and recomputed
+every analysis -- including a full Greedy-k saturation -- on each of its
+iterations.  The :class:`~repro.reduction.session.ReductionSession` replaces
+that with one in-place working graph whose analyses (descendant maps,
+longest-path rows, potential killers, killing-set choices, per-candidate
+DV-DAGs) are patched only in the dirty region around the freshly added
+serial arcs.
+
+This benchmark drives both engines over reduction-heavy instances -- paper
+kernels plus the scale tier up to the 200-operation superblocks -- and
+checks:
+
+* the reports are byte-identical (wall time and the engine tag aside);
+* the incremental engine actually took its warm paths;
+* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 3.0
+  locally; CI's smoke mode only guards against regressions).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the population to seconds for CI, and the
+report ends with a profile of the incremental engine on the largest
+instance -- the record of where the polynomial analyses become the
+bottleneck now that the redundant recomputation is gone.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import time
+
+from repro.codes import kernel_suite, scale_suite
+from repro.experiments import section
+from repro.reduction import reduce_saturation_heuristic
+
+#: Kernels with enough register pressure for the reduction loop to iterate.
+_KERNEL_NAMES = (
+    "linpack-daxpy-u4",
+    "linpack-ddot-u4",
+    "specfp-tomcatv",
+    "specfp-applu",
+    "dsp-fir6",
+    "whetstone-m8",
+)
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _population():
+    """(name, ddg, rtype, budget) instances ordered small to large."""
+
+    instances = []
+    kernels = {e.name: e for e in kernel_suite()}
+    for name in _KERNEL_NAMES:
+        entry = kernels[name]
+        rtype = entry.ddg.register_types()[0]
+        instances.append((entry.name, entry.ddg, rtype, 4))
+    if _SMOKE:
+        tier = scale_suite(sizes=(40, 48), superblock_sizes=())
+    else:
+        tier = scale_suite(sizes=(56, 72), superblock_sizes=(120, 160, 200))
+    for entry in tier:
+        rtype = entry.ddg.register_types()[0]
+        instances.append((entry.name, entry.ddg, rtype, 8))
+    return instances
+
+
+def _normalized_report(result):
+    """Everything a ReductionResult reports, minus wall time and engine tag."""
+
+    details = {
+        k: v
+        for k, v in sorted(result.details.items())
+        if k not in ("engine", "engine_stats")
+    }
+    graph = result.extended_ddg
+    return repr(
+        (
+            result.rtype.name,
+            result.target,
+            result.success,
+            result.original_rs,
+            result.achieved_rs,
+            result.added_edges,
+            result.critical_path_before,
+            result.critical_path_after,
+            result.method,
+            result.optimal,
+            details,
+            graph.name,
+            sorted(
+                (e.src, e.dst, e.latency, e.kind.value,
+                 None if e.rtype is None else e.rtype.name)
+                for e in graph.edges()
+            ),
+        )
+    ).encode()
+
+
+def _run(ddg, rtype, budget, engine):
+    start = time.perf_counter()
+    result = reduce_saturation_heuristic(
+        ddg.copy(), rtype, budget, engine=engine
+    )
+    return result, time.perf_counter() - start
+
+
+def test_incremental_session_speedup():
+    rows = []
+    total_scratch = 0.0
+    total_incremental = 0.0
+    largest = None
+    for name, ddg, rtype, budget in _population():
+        scratch, t_scratch = _run(ddg, rtype, budget, "from-scratch")
+        incremental, t_incremental = _run(ddg, rtype, budget, "incremental")
+
+        assert _normalized_report(scratch) == _normalized_report(incremental), (
+            f"incremental and from-scratch reports differ on {name}"
+        )
+        # The incremental path must actually have been taken.
+        assert incremental.details["engine"] == "incremental"
+        stats = incremental.details["engine_stats"]
+        if incremental.details["iterations"]:
+            # A stuck final iteration evaluates candidates but applies none.
+            expected_pushes = incremental.details["iterations"] - (
+                1 if incremental.details["stuck"] else 0
+            )
+            assert stats["pushes"] == expected_pushes, (
+                f"{name}: every applied serialization must go through the session"
+            )
+            assert stats["dv_rebuilds"] + stats["dv_reuses"] > 0
+
+        total_scratch += t_scratch
+        total_incremental += t_incremental
+        rows.append((name, ddg.n, scratch.original_rs, scratch.achieved_rs,
+                     incremental.details["iterations"], t_scratch, t_incremental))
+        largest = (name, ddg, rtype, budget)
+
+    print(section("RS* reduction: incremental session vs from-scratch loop"))
+    print(f"{'instance':<16} {'ops':>4} {'RS':>3} {'->':>3} {'iters':>5} "
+          f"{'scratch':>8} {'incr':>8} {'speedup':>8}")
+    for name, ops, rs0, rs1, iters, ts, ti in rows:
+        ratio = ts / ti if ti else float("inf")
+        print(f"{name:<16} {ops:>4} {rs0:>3} {rs1:>3} {iters:>5} "
+              f"{ts:>7.2f}s {ti:>7.2f}s {ratio:>7.2f}x")
+    speedup = total_scratch / total_incremental
+    print(f"{'TOTAL':<16} {'':>4} {'':>3} {'':>3} {'':>5} "
+          f"{total_scratch:>7.2f}s {total_incremental:>7.2f}s {speedup:>7.2f}x")
+
+    _print_bottleneck_profile(largest)
+
+    # Local default states the claim; CI smoke mode overrides to a
+    # regression guard (shared runners time noisily and the smoke suite is
+    # too small for the asymptotic win to show).
+    default_min = "1.0" if _SMOKE else "3.0"
+    minimum = float(os.environ.get("REPRO_REDUCTION_SPEEDUP_MIN", default_min))
+    assert speedup >= minimum, (
+        f"expected the incremental session to be >= {minimum:.1f}x faster, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def _print_bottleneck_profile(largest):
+    """Record where the polynomial analyses now dominate (scale-tier profile)."""
+
+    name, ddg, rtype, budget = largest
+    profiler = cProfile.Profile()
+    profiler.enable()
+    reduce_saturation_heuristic(ddg.copy(), rtype, budget, engine="incremental")
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream).sort_stats("cumulative")
+    stats.print_stats("repro", 14)
+    print(section(f"incremental-engine bottleneck profile ({name})"))
+    lines = [
+        line for line in stream.getvalue().splitlines()
+        if "/repro/" in line or line.strip().startswith("ncalls")
+    ]
+    print("\n".join(lines[:16]))
+
+
+def test_session_undo_restores_prior_timing_state():
+    """Push/pop keeps the session consistent (and cheap) for explorations."""
+
+    from repro.core.types import Value
+    from repro.reduction import ReductionSession
+
+    entry = scale_suite(sizes=(40,), superblock_sizes=())[0]
+    rtype = entry.ddg.register_types()[0]
+    session = ReductionSession(entry.ddg, rtype)
+    before = session.analysis_fingerprint()
+    saturating = list(session.saturation().saturating_values)
+    pushed = None
+    for u in saturating:
+        for v in saturating:
+            if u == v:
+                continue
+            edges = session.legal_serialization(u, v)
+            if edges:
+                session.push(edges)
+                pushed = edges
+                break
+        if pushed:
+            break
+    assert pushed, "the scale graph must admit at least one serialization"
+    assert session.analysis_fingerprint() != before
+    session.pop()
+    assert session.analysis_fingerprint() == before

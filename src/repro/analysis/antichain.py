@@ -25,6 +25,7 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 __all__ = [
     "maximum_antichain",
+    "maximum_antichain_from_adjacency",
     "maximum_antichain_size",
     "minimum_chain_cover_size",
     "is_antichain",
@@ -151,6 +152,27 @@ def maximum_antichain(
         return []
     pairs = {(u, v) for (u, v) in order_pairs if u != v}
     adj = _split_adjacency(elements, pairs)
+    return maximum_antichain_from_adjacency(elements, adj)
+
+
+def maximum_antichain_from_adjacency(
+    elements: Sequence[Hashable],
+    adj: Sequence[List[int]],
+) -> List[Hashable]:
+    """A maximum antichain from an already-built split-graph adjacency.
+
+    ``adj[i]`` must list, in ascending order, the indices ``j`` with
+    ``elements[i] < elements[j]`` under the transitively-closed strict
+    order.  This is the same matching/Koenig pipeline as
+    :func:`maximum_antichain` -- callers that already hold the order as
+    per-element bitsets (the incremental saturation engine) use it to skip
+    materialising the pair set; identical adjacency yields an identical
+    antichain.
+    """
+
+    elements = list(elements)
+    if not elements:
+        return []
     n = len(elements)
     match_l, match_r = _hopcroft_karp(adj, n)
     z_left, z_right = _koenig_free_sets(adj, match_l, match_r, n)
@@ -163,6 +185,9 @@ def maximum_antichain(
     if len(antichain) != expected:  # pragma: no cover - defensive
         # Fall back to greedy completion; should not happen but we never
         # want to return a wrong size silently.
+        pairs = {
+            (elements[i], elements[j]) for i, row in enumerate(adj) for j in row
+        }
         antichain = _greedy_antichain(elements, pairs, expected)
     return antichain
 

@@ -290,35 +290,14 @@ class AnalysisContext:
         if not edges:
             return self.critical_path_length()
 
-        asap = self.asap_times()
-        to_sinks = self.longest_path_to_sinks()
         lp = self.longest_path_matrix()
-        nodes = {e.src for e in edges} | {e.dst for e in edges}
-        # Longest mixed (base + new arcs) path from the sources to each
-        # endpoint; grows monotonically, so relaxation converges in at most
-        # one round per new arc on a path.
-        best = {x: float(asap[x]) for x in nodes}
-        for _ in range(len(edges) + 1):
-            changed = False
-            for e in edges:
-                cand = best[e.src] + e.latency
-                if cand > best[e.dst]:
-                    best[e.dst] = cand
-                    changed = True
-            for u in nodes:
-                row = lp[u]
-                base_u = best[u]
-                for v in nodes:
-                    if u == v:
-                        continue
-                    d = row[v]
-                    if d != graphalgo.NEG_INF and base_u + d > best[v]:
-                        best[v] = base_u + d
-                        changed = True
-            if not changed:
-                break
-        through_new = max(best[x] + to_sinks[x] for x in nodes)
-        return int(max(self.critical_path_length(), through_new))
+        return graphalgo.extended_critical_path(
+            edges,
+            self.asap_times(),
+            self.longest_path_to_sinks(),
+            lp.__getitem__,
+            self.critical_path_length(),
+        )
 
     def remains_acyclic_with_edges(self, edges) -> bool:
         """Whether adding *edges* keeps the graph a DAG, via cached reachability.
@@ -338,28 +317,7 @@ class AnalysisContext:
             return graphalgo.would_remain_acyclic(self._ddg, edges)
 
         reach = self.descendants_map(include_self=False)
-        nodes = sorted({e.src for e in edges} | {e.dst for e in edges})
-        succ: Dict[str, set] = {x: set() for x in nodes}
-        for e in edges:
-            succ[e.src].add(e.dst)
-        for u in nodes:
-            reach_u = reach[u]
-            for v in nodes:
-                if v != u and v in reach_u:
-                    succ[u].add(v)
-        # Cycle detection on the mini-graph (|nodes| is tiny).
-        state: Dict[str, int] = {}
-
-        def has_cycle(x: str) -> bool:
-            state[x] = 1
-            for y in succ[x]:
-                s = state.get(y, 0)
-                if s == 1 or (s == 0 and has_cycle(y)):
-                    return True
-            state[x] = 2
-            return False
-
-        return not any(state.get(x, 0) == 0 and has_cycle(x) for x in nodes)
+        return graphalgo.mini_graph_remains_acyclic(edges, reach.__getitem__)
 
     # ------------------------------------------------------------------ #
     # Derived graphs

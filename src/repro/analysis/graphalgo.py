@@ -33,6 +33,8 @@ __all__ = [
     "transitive_closure_pairs",
     "transitive_closure_of_relation",
     "would_remain_acyclic",
+    "extended_critical_path",
+    "mini_graph_remains_acyclic",
     "is_redundant_edge",
     "redundant_edges",
 ]
@@ -263,6 +265,89 @@ def would_remain_acyclic(ddg: DDG, edges) -> bool:
         return False
 
     return not any(reaches(e.dst, e.src) for e in edges)
+
+
+def extended_critical_path(edges, asap, to_sinks, lp_lookup, base_cp) -> int:
+    """Exact critical path of a DAG extended with *edges*, without a copy.
+
+    ``asap``/``to_sinks`` are the base graph's longest paths from the sources
+    / to the sinks, ``lp_lookup(u)`` its longest-path row from ``u`` and
+    ``base_cp`` its critical path.  Any path through the extension
+    alternates base-graph segments with new arcs, so the longest mixed path
+    only needs a relaxation over the "mini-DAG" spanned by the new arcs'
+    endpoints (base segments collapse to single weighted edges via ``lp``).
+    Distances grow monotonically, so the relaxation converges in at most one
+    round per new arc on a path.
+
+    This is the single implementation shared by
+    :meth:`repro.analysis.context.AnalysisContext.critical_path_with_edges`
+    and the in-place :class:`repro.reduction.session.ReductionSession`, which
+    guarantees both produce the same score for a candidate serialization.
+    """
+
+    edges = list(edges)
+    if not edges:
+        return int(base_cp)
+    nodes = {e.src for e in edges} | {e.dst for e in edges}
+    best = {x: float(asap[x]) for x in nodes}
+    for _ in range(len(edges) + 1):
+        changed = False
+        for e in edges:
+            cand = best[e.src] + e.latency
+            if cand > best[e.dst]:
+                best[e.dst] = cand
+                changed = True
+        for u in nodes:
+            row = lp_lookup(u)
+            base_u = best[u]
+            for v in nodes:
+                if u == v:
+                    continue
+                d = row[v]
+                if d != NEG_INF and base_u + d > best[v]:
+                    best[v] = base_u + d
+                    changed = True
+        if not changed:
+            break
+    through_new = max(best[x] + to_sinks[x] for x in nodes)
+    return int(max(base_cp, through_new))
+
+
+def mini_graph_remains_acyclic(edges, reach_lookup) -> bool:
+    """Whether adding *edges* to a DAG with reachability *reach_lookup* keeps it a DAG.
+
+    Any new cycle must alternate new arcs with (possibly empty) base paths,
+    so it maps to a cycle of the mini-graph over the new arcs' endpoints
+    whose extra edges are the base reachability relation.
+    ``reach_lookup(u)`` returns the base graph's strict descendant set of
+    ``u``.  Shared by the context's ``remains_acyclic_with_edges`` and the
+    reduction session's warm legality check.
+    """
+
+    edges = list(edges)
+    if not edges:
+        return True
+    nodes = sorted({e.src for e in edges} | {e.dst for e in edges})
+    succ: Dict[str, Set[str]] = {x: set() for x in nodes}
+    for e in edges:
+        succ[e.src].add(e.dst)
+    for u in nodes:
+        reach_u = reach_lookup(u)
+        for v in nodes:
+            if v != u and v in reach_u:
+                succ[u].add(v)
+    state: Dict[str, int] = {}
+
+    def has_cycle(x: str) -> bool:
+        state[x] = 1
+        for y in succ[x]:
+            s = state.get(y, 0)
+            if s == 1 or (s == 0 and has_cycle(y)):
+                return True
+        state[x] = 2
+        return False
+
+    return not any(state.get(x, 0) == 0 and has_cycle(x) for x in nodes)
 
 
 def transitive_closure_of_relation(nodes, edges):

@@ -30,6 +30,7 @@ __all__ = [
     "layered_random_ddg",
     "random_expression_forest",
     "random_loop_body",
+    "random_superblock",
     "random_suite",
 ]
 
@@ -43,8 +44,20 @@ def layered_random_ddg(
     rtype: RegisterType | str = INT,
     seed: int = 0,
     name: Optional[str] = None,
+    max_consumers: Optional[int] = None,
+    serial_chain_probability: float = 0.0,
 ) -> DDG:
-    """A layered random DAG with flow arcs between consecutive (or later) layers."""
+    """A layered random DAG with flow arcs between consecutive (or later) layers.
+
+    ``max_consumers`` caps a value's fan-out (unbounded by default, matching
+    the historic behaviour); real superblocks rarely read one value from
+    dozens of places, and an O(n) consumer list makes every Theorem-4.2
+    serialization O(n) arcs, which is not what large traces look like.
+    ``serial_chain_probability`` threads extra intra-layer serial arcs
+    (compiler-ordered memory operations) through the block.  Both knobs
+    leave the random stream of the default configuration untouched, so
+    historic seeds keep producing bit-identical graphs.
+    """
 
     rng = random.Random(seed)
     rtype = canonical_type(rtype)
@@ -66,17 +79,113 @@ def layered_random_ddg(
     for i in range(nodes):
         if not ddg.operation(f"n{i}").defines(rtype):
             continue
+        consumers = 0
         for j in range(i + 1, nodes):
             if layer_of[j] <= layer_of[i]:
                 continue
+            if max_consumers is not None and consumers >= max_consumers:
+                break
             if rng.random() < edge_probability / max(1, layer_of[j] - layer_of[i]):
                 ddg.add_flow_edge(f"n{i}", f"n{j}", rtype)
+                consumers += 1
     # Give isolated non-source nodes at least one incoming serial arc so the
     # graph is connected enough to be interesting.
     for j in range(1, nodes):
         if ddg.in_degree(f"n{j}") == 0 and rng.random() < 0.5:
             i = rng.randrange(0, j)
             ddg.add_serial_edge(f"n{i}", f"n{j}", latency=rng.randint(0, 2))
+    if serial_chain_probability > 0.0:
+        for j in range(1, nodes):
+            if rng.random() < serial_chain_probability:
+                i = rng.randrange(0, j)
+                if layer_of[i] < layer_of[j]:
+                    ddg.add_serial_edge(f"n{i}", f"n{j}", latency=0)
+    return ddg
+
+
+def random_superblock(
+    operations: int = 200,
+    block_size: int = 24,
+    ilp_degree: int = 6,
+    cross_block_probability: float = 0.25,
+    max_consumers: int = 4,
+    max_latency: int = 4,
+    rtype: RegisterType | str = INT,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> DDG:
+    """A superblock-shaped DDG: a trace of basic blocks glued by live ranges.
+
+    Post-unrolling/tail-duplication superblocks are the 200+ operation
+    inputs the ROADMAP's scale tier targets.  Structurally they are a
+    *sequence* of small dense blocks: inside a block, ``ilp_degree``
+    independent strands of dependent operations; between blocks, a sparse
+    set of cross-block flow arcs (the live registers of the trace) plus a
+    serial arc chaining the block entries (the side-exit ordering).  Unlike
+    :func:`layered_random_ddg` at that size, values have a bounded consumer
+    count, which keeps the graph realistic and the serialization arcs per
+    reduction step small.
+    """
+
+    rng = random.Random(seed)
+    rtype = canonical_type(rtype)
+    ddg = DDG(name or f"superblock-n{operations}-s{seed}")
+    consumer_count: dict = {}
+    blocks: List[List[str]] = []
+    block_count = max(1, (operations + block_size - 1) // block_size)
+    emitted = 0
+    for b in range(block_count):
+        block_nodes: List[str] = []
+        strands: List[List[str]] = [[] for _ in range(max(1, ilp_degree))]
+        size = min(block_size, operations - emitted)
+        for _ in range(size):
+            node = f"b{b}n{len(block_nodes)}"
+            produces = rng.random() < 0.85
+            ddg.add_operation(
+                Operation(
+                    node,
+                    defs=frozenset({rtype}) if produces else frozenset(),
+                    latency=rng.randint(1, max_latency),
+                    opcode="op",
+                )
+            )
+            strand = strands[rng.randrange(len(strands))]
+            # Chain inside the strand; occasionally read from a sibling
+            # strand of the same block (local register reuse).
+            sources = []
+            if strand:
+                sources.append(strand[-1])
+            if rng.random() < 0.35:
+                siblings = [s[-1] for s in strands if s and s is not strand]
+                if siblings:
+                    sources.append(rng.choice(siblings))
+            for src in sources:
+                if (
+                    ddg.operation(src).defines(rtype)
+                    and consumer_count.get(src, 0) < max_consumers
+                ):
+                    ddg.add_flow_edge(src, node, rtype)
+                    consumer_count[src] = consumer_count.get(src, 0) + 1
+            strand.append(node)
+            block_nodes.append(node)
+            emitted += 1
+        if blocks:
+            # Side-exit ordering: the previous block's entry precedes ours.
+            ddg.add_serial_edge(blocks[-1][0], block_nodes[0], latency=0)
+            # Cross-block live ranges from the last few earlier definitions.
+            producers = [
+                n
+                for prev in blocks[-2:]
+                for n in prev
+                if ddg.operation(n).defines(rtype)
+            ]
+            for node in block_nodes:
+                if producers and rng.random() < cross_block_probability:
+                    src = rng.choice(producers)
+                    if consumer_count.get(src, 0) < max_consumers:
+                        ddg.add_flow_edge(src, node, rtype)
+                        consumer_count[src] = consumer_count.get(src, 0) + 1
+        blocks.append(block_nodes)
     return ddg
 
 

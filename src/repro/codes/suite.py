@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.graph import DDG
 from ..core.types import FLOAT, INT, RegisterType
 from . import kernels
-from .generator import layered_random_ddg, random_suite
+from .generator import layered_random_ddg, random_superblock, random_suite
 
 __all__ = ["SuiteEntry", "benchmark_suite", "kernel_suite", "scale_suite", "suite_by_name"]
 
@@ -97,6 +97,7 @@ def benchmark_suite(
 def scale_suite(
     sizes: Sequence[int] = (40, 48, 56, 64, 72),
     seed: int = 2104,
+    superblock_sizes: Sequence[int] = (120, 160, 200, 240),
 ) -> List[SuiteEntry]:
     """Larger deterministic DDGs stressing the suite-scale execution paths.
 
@@ -106,9 +107,17 @@ def scale_suite(
     extend the population for the heuristic-only experiments and the
     analysis-cache benchmark -- they are far beyond what the exact intLP
     methods can solve.
+
+    Two tiers are generated: layered random DAGs at *sizes* (the historic
+    40-72 operation tier, bit-identical to earlier releases for a given
+    seed) and superblock-shaped traces at *superblock_sizes* -- the 200+
+    operation tier the ROADMAP targets, where the reduction loop and the
+    polynomial analyses, not the solvers, are the bottleneck
+    (``benchmarks/bench_reduction_incremental.py`` profiles exactly that).
+    Pass ``superblock_sizes=()`` to keep only the historic tier.
     """
 
-    return [
+    entries = [
         SuiteEntry(
             name=f"scale-n{n}",
             category="scale",
@@ -123,6 +132,20 @@ def scale_suite(
         )
         for i, n in enumerate(sizes)
     ]
+    entries.extend(
+        SuiteEntry(
+            name=f"scale-sb{n}",
+            category="scale",
+            ddg=random_superblock(
+                operations=n,
+                seed=seed + 100 + i,
+                name=f"scale-sb{n}",
+            ),
+            description=f"superblock trace, {n} operations",
+        )
+        for i, n in enumerate(superblock_sizes)
+    )
+    return entries
 
 
 def suite_by_name(name: str) -> SuiteEntry:

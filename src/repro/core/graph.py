@@ -235,6 +235,19 @@ class DDG:
     def edges_between(self, src: str, dst: str) -> Sequence[Edge]:
         return tuple(self._succ.get(src, {}).get(dst, ()))
 
+    def best_latency_between(self, src: str, dst: str) -> Optional[int]:
+        """Largest latency among the arcs ``src -> dst``, or None when absent.
+
+        The reduction session's candidate filter asks this for every
+        (reader, target) pair of every iteration; answering it without
+        materialising the :meth:`edges_between` tuple keeps that loop cheap.
+        """
+
+        bucket = self._succ.get(src, {}).get(dst)
+        if not bucket:
+            return None
+        return max(e.latency for e in bucket)
+
     def successors(self, name: str) -> List[str]:
         self._check_node(name)
         return list(self._succ[name].keys())

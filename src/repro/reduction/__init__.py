@@ -30,6 +30,7 @@ from .exact_ilp import (
 from .heuristic import reduce_saturation_heuristic
 from .minimization import minimize_register_need
 from .result import ReductionResult
+from .session import ReductionSession
 from .serialization import (
     SerializationMode,
     apply_serialization,
@@ -38,12 +39,14 @@ from .serialization import (
     legal_serialization,
     prune_redundant_serial_arcs,
     serialization_edges,
+    serialization_implied,
     serialization_latency,
     would_remain_acyclic,
 )
 
 __all__ = [
     "ReductionResult",
+    "ReductionSession",
     "reduce_saturation",
     "reduce_saturation_heuristic",
     "reduce_saturation_exact",
@@ -53,6 +56,7 @@ __all__ = [
     "build_reduction_program",
     "SerializationMode",
     "serialization_edges",
+    "serialization_implied",
     "serialization_latency",
     "apply_serialization",
     "prune_redundant_serial_arcs",

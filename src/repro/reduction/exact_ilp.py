@@ -49,6 +49,7 @@ from ..errors import SolverError, SpillRequiredError
 from ..ilp import IntegerProgram, LinExpr, Solution, SolveStatus, solve
 from ..saturation.exact_ilp import RSModelInfo, build_interference_core
 from ..saturation.greedy import greedy_saturation
+from ..saturation.incremental import IncrementalAnalysis
 from .result import ReductionResult
 from .serialization import (
     SerializationMode,
@@ -184,6 +185,10 @@ def serialize_from_schedule(
     if prune_redundant:
         extended, _ = prune_redundant_serial_arcs(extended)
         extended.name = f"{ddg.name}+serialized"
+    # One in-place working graph with warm reachability instead of a copy
+    # plus a full-graph cycle walk per applied pair (this O(|values|^2) loop
+    # dominated the minimization baseline).
+    analysis = IncrementalAnalysis(extended)
     added: List[Edge] = []
     skipped: List[Tuple[Value, Value]] = []
     for u in values:
@@ -195,10 +200,10 @@ def serialize_from_schedule(
                 edges = serialization_edges(extended, u, v, mode=mode, skip_existing=True)
                 if not edges:
                     continue
-                if not would_remain_acyclic(extended, edges):
+                if not analysis.remains_acyclic_with_edges(edges):
                     skipped.append((u, v))
                     continue
-                extended = apply_serialization(extended, edges)
+                analysis.push(edges)
                 added.extend(edges)
     assert extended.is_acyclic(), (
         f"serializing {ddg.name!r} must keep the DDG acyclic"

@@ -18,6 +18,23 @@ The heuristic adds only the arcs needed to go below ``R_t`` -- contrary to
 the minimization baseline of Section 6 which constrains the graph down to
 the smallest achievable register need regardless of how many registers the
 machine actually has.
+
+Two engines drive the loop:
+
+* ``engine="incremental"`` (default) -- a :class:`~repro.reduction.session.
+  ReductionSession` mutates one working DDG in place with undo and keeps
+  every analysis (and the Greedy-k saturation state) warm across
+  iterations, recomputing only the dirty region around the freshly added
+  arcs;
+* ``engine="from-scratch"`` -- the historic loop (graph copy + cold
+  recomputation per iteration), kept as the reference the incremental
+  engine is benchmarked and property-tested against.
+
+Both engines share the candidate enumeration, the reachability pre-filter
+(pairs whose ordering the transitive closure already forces are skipped and
+counted instead of evaluated) and the tie-breaking, and produce identical
+:class:`~repro.reduction.result.ReductionResult` reports up to wall time and
+the ``details["engine"]`` tag.
 """
 
 from __future__ import annotations
@@ -26,7 +43,6 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.context import context_for
-from ..analysis.graphalgo import critical_path_length
 from ..core.graph import DDG, Edge
 from ..core.machine import ProcessorModel
 from ..core.types import RegisterType, Value, canonical_type
@@ -34,11 +50,13 @@ from ..errors import SpillRequiredError
 from ..saturation.greedy import greedy_saturation
 from ..saturation.result import SaturationResult
 from .result import ReductionResult
+from .session import ReductionSession
 from .serialization import (
     SerializationMode,
     apply_serialization,
     legal_serialization,
     prune_redundant_serial_arcs,
+    serialization_implied,
 )
 
 __all__ = ["reduce_saturation_heuristic"]
@@ -55,24 +73,102 @@ def _candidate_pairs(saturating: Sequence[Value]) -> List[Tuple[Value, Value]]:
     return pairs
 
 
-def _evaluate_candidate(
-    ddg: DDG,
-    before: Value,
-    after: Value,
-    mode: str,
-    base_cp: int,
-) -> Optional[Tuple[int, List[Edge]]]:
-    """Critical-path increase of a legal serialization, or None when illegal/useless."""
+#: Driver verdict: the pair is already ordered by the transitive closure.
+_IMPLIED = object()
 
-    edges = legal_serialization(ddg, before, after, mode=mode, require_dag=True)
-    if edges is None:
-        return None
-    if not edges:
-        # Already implied by the graph: it cannot change the saturation,
-        # applying it would loop forever.
-        return None
-    cp_after = context_for(ddg).critical_path_with_edges(edges)
-    return cp_after - base_cp, edges
+
+class _FromScratchDriver:
+    """The historic per-iteration behaviour: copy the graph, recompute everything."""
+
+    def __init__(self, ddg: DDG, rtype: RegisterType, mode: str, prune_redundant: bool) -> None:
+        self.rtype = rtype
+        self.mode = mode
+        current = ddg.copy(name=f"{ddg.name}+reduced")
+        self.pruned: List[Edge] = []
+        if prune_redundant:
+            current, self.pruned = prune_redundant_serial_arcs(current)
+        self.current = current
+
+    def critical_path(self) -> int:
+        return context_for(self.current).critical_path_length()
+
+    def consider(self, before: Value, after: Value, base_cp: int):
+        ctx = context_for(self.current)
+        reach = ctx.descendants_map(include_self=False)
+        if serialization_implied(
+            self.current, before, after, self.mode,
+            ctx.longest_paths_from, reach.__getitem__,
+        ):
+            return _IMPLIED
+        edges = legal_serialization(
+            self.current, before, after, mode=self.mode, require_dag=True
+        )
+        if not edges:
+            # None (illegal) or [] (already implied by direct arcs: applying
+            # it could not change the saturation and would loop forever).
+            return None
+        cp_after = ctx.critical_path_with_edges(edges)
+        return cp_after - base_cp, len(edges), edges
+
+    def apply(self, edges: List[Edge]) -> List[Edge]:
+        self.current = apply_serialization(self.current, edges)
+        assert self.current.is_acyclic(), (
+            f"serializing {self.current.name!r} must keep the DDG acyclic"
+        )
+        return edges
+
+    def saturation(self) -> SaturationResult:
+        return greedy_saturation(self.current, self.rtype, ctx=context_for(self.current))
+
+    def graph(self) -> DDG:
+        return self.current
+
+    def bottom_critical_path(self) -> int:
+        return context_for(self.current).bottom().critical_path_length()
+
+    def engine_details(self) -> Dict[str, object]:
+        return {"engine": "from-scratch"}
+
+
+class _SessionDriver:
+    """The incremental engine: one in-place working graph, warm analyses."""
+
+    def __init__(self, ddg: DDG, rtype: RegisterType, mode: str, prune_redundant: bool) -> None:
+        self.session = ReductionSession(
+            ddg, rtype, mode=mode, prune_redundant=prune_redundant
+        )
+        self.pruned = self.session.pruned
+
+    def critical_path(self) -> int:
+        return self.session.critical_path()
+
+    def consider(self, before: Value, after: Value, base_cp: int):
+        result = self.session.consider(before, after, base_cp)
+        return _IMPLIED if result is self.session.IMPLIED else result
+
+    def apply(self, payload) -> List[Edge]:
+        return self.session.apply_payload(payload)
+
+    def saturation(self) -> SaturationResult:
+        return self.session.saturation()
+
+    def graph(self) -> DDG:
+        return self.session.ddg
+
+    def bottom_critical_path(self) -> int:
+        return self.session.bottom_critical_path()
+
+    def engine_details(self) -> Dict[str, object]:
+        cache = self.session.killing_set_cache
+        return {
+            "engine": "incremental",
+            "engine_stats": {
+                **self.session.stats,
+                **self.session.saturation_stats,
+                "killing_set_hits": cache.hits,
+                "killing_set_misses": cache.misses,
+            },
+        }
 
 
 def reduce_saturation_heuristic(
@@ -84,6 +180,7 @@ def reduce_saturation_heuristic(
     max_iterations: Optional[int] = None,
     raise_on_failure: bool = False,
     prune_redundant: bool = True,
+    engine: str = "incremental",
 ) -> ReductionResult:
     """Reduce the register saturation of *rtype* below *registers* by value serialization.
 
@@ -109,6 +206,10 @@ def reduce_saturation_heuristic(
         Drop the serial arcs already implied by the transitive closure
         before serializing (they cannot change any schedule but slow every
         candidate evaluation down).
+    engine:
+        ``"incremental"`` (default, the :class:`ReductionSession`) or
+        ``"from-scratch"`` (the historic copy-per-iteration loop).  Both
+        return identical reports; the benchmark suite holds them to that.
 
     Returns
     -------
@@ -134,39 +235,47 @@ def reduce_saturation_heuristic(
     ctx = context_for(ddg)
     original_cp = ctx.bottom().critical_path_length()
     initial = greedy_saturation(ddg, rtype, ctx=ctx)
-    current = ddg.copy(name=f"{ddg.name}+reduced")
-    pruned: List[Edge] = []
-    if prune_redundant:
-        current, pruned = prune_redundant_serial_arcs(current)
-    current_rs: SaturationResult = initial
-    added: List[Edge] = []
     if max_iterations is None:
         max_iterations = max(4, len(ddg.values(rtype)) ** 2)
 
+    if engine == "incremental":
+        driver = _SessionDriver(ddg, rtype, mode, prune_redundant)
+    elif engine == "from-scratch":
+        driver = _FromScratchDriver(ddg, rtype, mode, prune_redundant)
+    else:
+        raise ValueError(
+            f"unknown reduction engine {engine!r}; expected incremental/from-scratch"
+        )
+
+    current_rs: SaturationResult = initial
+    added: List[Edge] = []
     iterations = 0
     stuck = False
+    skipped_implied = 0
     while current_rs.rs > registers and iterations < max_iterations:
         iterations += 1
-        base_cp = context_for(current).critical_path_length()
-        best: Optional[Tuple[Tuple[int, int], List[Edge]]] = None
+        base_cp = driver.critical_path()
+        best: Optional[Tuple[Tuple[int, int], object]] = None
         saturating = list(current_rs.saturating_values)
         for before, after in _candidate_pairs(saturating):
-            evaluated = _evaluate_candidate(current, before, after, mode, base_cp)
-            if evaluated is None:
+            # Pairs the transitive closure already orders cannot change the
+            # saturation; `consider` skips them before paying for legality +
+            # scoring, and defers arc construction to the winner.
+            considered = driver.consider(before, after, base_cp)
+            if considered is _IMPLIED:
+                skipped_implied += 1
                 continue
-            cp_increase, edges = evaluated
-            key = (cp_increase, len(edges))
+            if considered is None:
+                continue
+            cp_increase, arc_count, payload = considered
+            key = (cp_increase, arc_count)
             if best is None or key < best[0]:
-                best = (key, edges)
+                best = (key, payload)
         if best is None:
             stuck = True
             break
-        current = apply_serialization(current, best[1])
-        assert current.is_acyclic(), (
-            f"serializing {ddg.name!r} must keep the DDG acyclic"
-        )
-        added.extend(best[1])
-        current_rs = greedy_saturation(current, rtype)
+        added.extend(driver.apply(best[1]))
+        current_rs = driver.saturation()
 
     success = current_rs.rs <= registers
     if not success and raise_on_failure:
@@ -181,18 +290,20 @@ def reduce_saturation_heuristic(
         success=success,
         original_rs=initial.rs,
         achieved_rs=current_rs.rs,
-        extended_ddg=current,
+        extended_ddg=driver.graph(),
         added_edges=tuple(added),
         critical_path_before=original_cp,
-        critical_path_after=context_for(current).bottom().critical_path_length(),
+        critical_path_after=driver.bottom_critical_path(),
         method="value-serialization",
         optimal=False,
         wall_time=time.perf_counter() - start,
         details={
             "iterations": iterations,
             "stuck": stuck,
-            "pruned_redundant_arcs": len(pruned),
+            "pruned_redundant_arcs": len(driver.pruned),
             "serialization_mode": mode,
             "initial_saturating_values": [str(v) for v in initial.saturating_values],
+            "skipped_implied_pairs": skipped_implied,
+            **driver.engine_details(),
         },
     )

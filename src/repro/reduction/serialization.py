@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.context import context_for
-from ..analysis.graphalgo import is_redundant_edge
+from ..analysis.graphalgo import NEG_INF, is_redundant_edge
 from ..analysis.graphalgo import would_remain_acyclic as graphalgo_would_remain_acyclic
 from ..core.graph import DDG, Edge
 from ..core.machine import ArchitectureFamily, ProcessorModel
@@ -38,6 +38,7 @@ __all__ = [
     "SerializationMode",
     "serialization_latency",
     "serialization_edges",
+    "serialization_implied",
     "apply_serialization",
     "prune_redundant_serial_arcs",
     "would_remain_acyclic",
@@ -118,6 +119,55 @@ def serialization_edges(
                 continue
         edges.append(Edge(reader, target, latency, DependenceKind.SERIAL, None))
     return edges
+
+
+def serialization_implied(
+    ddg: DDG,
+    before: Value,
+    after: Value,
+    mode: str,
+    lp_lookup,
+    reach_lookup=None,
+) -> bool:
+    """True when ``LT(before) < LT(after)`` is already forced by the graph.
+
+    The Theorem-4.2 serialization for the pair adds one arc per reader of
+    *before*; when every such arc is dominated by an existing longest path of
+    at least the arc's latency, the serialization cannot remove a single
+    schedule -- evaluating it is pure waste (and applying it would only add
+    redundant arcs).  The reduction heuristics use this as a cheap
+    reachability pre-filter over the O(|antichain|^2) candidate pairs before
+    paying for :func:`legal_serialization`.
+
+    ``lp_lookup(node)`` must return the exact longest-path row from *node*
+    (e.g. ``AnalysisContext.longest_paths_from`` or
+    ``ReductionSession.lp_row``).  ``reach_lookup(node)``, when given, must
+    return the strict descendant set of *node*; it is used as a cheap screen
+    (a reader with no path to the target can never have its arc implied)
+    before the longest-path rows are touched.  Pairs with no serialization
+    arc at all (no reader, or the only reader is *after* itself) report
+    False and are left to :func:`legal_serialization`, which skips them for
+    free.
+    """
+
+    if before.node == BOTTOM or after.node == BOTTOM:
+        return False
+    readers = ddg.consumers(before.node, before.rtype)
+    target = after.node
+    if reach_lookup is not None:
+        for reader in readers:
+            if reader != target and target not in reach_lookup(reader):
+                return False
+    found = False
+    for reader in readers:
+        if reader == target:
+            continue
+        found = True
+        latency = serialization_latency(ddg, reader, target, mode)
+        dist = lp_lookup(reader)[target]
+        if dist == NEG_INF or dist < latency:
+            return False
+    return found
 
 
 def apply_serialization(ddg: DDG, edges: Iterable[Edge]) -> DDG:

@@ -1,0 +1,357 @@
+"""The incremental reduction session: one working DDG, mutated with undo.
+
+``reduce_saturation_heuristic`` historically rebuilt the world on every
+iteration: ``ddg.copy()`` per applied serialization, a cold
+:class:`~repro.analysis.context.AnalysisContext` per copy, and a from-scratch
+``greedy_saturation`` -- even though consecutive iterations differ by the two
+or three serial arcs of one value-serialization.  :class:`ReductionSession`
+replaces that with a single working graph mutated in place:
+
+* :meth:`push` applies serialization arcs to the working graph *and* its
+  bottom-normalised mirror (``DDG.version`` is bumped by the mutation, so
+  stale context caches can never leak), recording an undo frame;
+* :meth:`pop` restores the exact prior graph and analysis state;
+* between pushes, the structural analyses (descendant maps, longest-path
+  rows) and the saturation state (potential killers, killing-set choices,
+  killers' descendant values) are patched incrementally -- only the dirty
+  region around the new arcs' endpoints is recomputed (see
+  :mod:`repro.saturation.incremental` for the monotonicity argument);
+* candidate serializations are scored without any graph copy through the
+  shared mini-DAG helpers of :mod:`repro.analysis.graphalgo`, and a cheap
+  reachability pre-filter (:meth:`implied`) rejects pairs whose ordering the
+  transitive closure already forces before ``legal_serialization`` is paid.
+
+The session produces results identical to the from-scratch loop (pinned by
+``tests/test_reduction_incremental.py`` and asserted with byte-compared
+reports by ``benchmarks/bench_reduction_incremental.py``); it is purely a
+performance device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.context import context_for
+from ..core.graph import DDG, Edge
+from ..core.types import BOTTOM, DependenceKind, RegisterType, Value, canonical_type
+from ..errors import ReductionError
+from ..saturation.incremental import IncrementalAnalysis, IncrementalSaturation
+from ..saturation.result import SaturationResult
+from .serialization import (
+    SerializationMode,
+    prune_redundant_serial_arcs,
+    serialization_latency,
+)
+
+__all__ = ["ReductionSession"]
+
+
+class _KillingSetCache(dict):
+    """A dict counting its hits/misses (reported in the session stats)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if value is default:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+
+class ReductionSession:
+    """Incremental engine behind the value-serialization reduction loop.
+
+    Parameters
+    ----------
+    ddg:
+        The original graph; it is never touched.  The session works on a
+        copy named ``<name>+reduced`` exactly like the historic loop did.
+    rtype:
+        Register type whose saturation is being reduced.
+    mode:
+        Serialization-latency mode (:class:`SerializationMode`), OFFSETS by
+        default.
+    prune_redundant:
+        Drop closure-implied serial arcs from the working copy up front
+        (mirrors the historic behaviour; the dropped arcs are in
+        :attr:`pruned`).
+    """
+
+    def __init__(
+        self,
+        ddg: DDG,
+        rtype: RegisterType | str,
+        mode: str = SerializationMode.OFFSETS,
+        prune_redundant: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.rtype = canonical_type(rtype)
+        self.mode = mode
+        working = ddg.copy(name or f"{ddg.name}+reduced")
+        self.pruned: List[Edge] = []
+        if prune_redundant:
+            working, self.pruned = prune_redundant_serial_arcs(working)
+        self._analysis = IncrementalAnalysis(working)
+        self._saturation = IncrementalSaturation(self._analysis, self.rtype)
+        self._saturation.killing_set_cache = _KillingSetCache()
+        # (before, after) -> ((reader, latency), ...): the static part of the
+        # Theorem-4.2 serialization.  Readers are flow consumers and the
+        # latencies depend only on the operations, neither of which a serial
+        # arc can change, so this survives every push/pop.
+        self._proto_edges_cache: Dict[Tuple[Value, Value], Tuple[Tuple[str, int], ...]] = {}
+        self._cp_state_version = -1
+        self._asap: Dict[str, int] = {}
+        self._to_sinks: Dict[str, float] = {}
+        self._cp = 0
+        self.stats: Dict[str, int] = {
+            "pushes": 0,
+            "pops": 0,
+            "implied_skipped": 0,
+            "evaluated_candidates": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Graph access
+    # ------------------------------------------------------------------ #
+    @property
+    def ddg(self) -> DDG:
+        """The working graph (original + pruning + pushed serializations)."""
+
+        return self._analysis.ddg
+
+    @property
+    def depth(self) -> int:
+        """Number of push frames currently undoable."""
+
+        return self._analysis.depth
+
+    def critical_path(self) -> int:
+        return context_for(self.ddg).critical_path_length()
+
+    def bottom_critical_path(self) -> int:
+        """Critical path of the bottom-normalised working graph."""
+
+        return context_for(self._saturation.mirror_ddg).critical_path_length()
+
+    def lp_row(self, src: str) -> Dict[str, float]:
+        """Warm exact longest-path row from *src* in the working graph."""
+
+        return self._analysis.lp_row(src)
+
+    # ------------------------------------------------------------------ #
+    # Candidate evaluation (no copies)
+    # ------------------------------------------------------------------ #
+    def _proto_edges(self, before: Value, after: Value) -> Tuple[Tuple[str, int], ...]:
+        """The static (reader, latency) skeleton of the pair's serialization."""
+
+        key = (before, after)
+        proto = self._proto_edges_cache.get(key)
+        if proto is None:
+            if before.rtype != after.rtype:
+                raise ReductionError(
+                    "cannot serialize lifetimes of different register types"
+                )
+            target = after.node
+            proto = tuple(
+                (reader, serialization_latency(self.ddg, reader, target, self.mode))
+                for reader in self.ddg.consumers(before.node, before.rtype)
+                if reader != target
+            )
+            self._proto_edges_cache[key] = proto
+        return proto
+
+    def _kept_arcs(
+        self, proto: Tuple[Tuple[str, int], ...], target: str
+    ) -> Optional[List[Tuple[str, int]]]:
+        """The pair's arcs after the dominated-arc filter, or None on a cycle.
+
+        Single implementation behind :meth:`legal_serialization` and
+        :meth:`consider` so the two can never drift apart: an arc dominated
+        by an existing equal-or-stronger arc is dropped (the
+        ``skip_existing`` rule of :func:`serialization_edges`), and because
+        every arc ends at *target*, a new cycle can only be a base path from
+        the target back to a reader -- a membership test on the warm
+        descendant set.
+        """
+
+        g = self.ddg
+        reach_target = self._analysis.descendants_excl()[target]
+        kept: List[Tuple[str, int]] = []
+        for reader, latency in proto:
+            best = g.best_latency_between(reader, target)
+            if best is not None and best >= latency:
+                continue
+            if reader in reach_target:
+                return None
+            kept.append((reader, latency))
+        return kept
+
+    def _refresh_cp_state(self) -> None:
+        if self._cp_state_version != self.ddg.version:
+            ctx = context_for(self.ddg)
+            self._asap = ctx.asap_times()
+            self._to_sinks = ctx.longest_path_to_sinks()
+            self._cp = ctx.critical_path_length()
+            self._cp_state_version = self.ddg.version
+
+    def legal_serialization(self, before: Value, after: Value) -> Optional[List[Edge]]:
+        """Same contract as :func:`repro.reduction.serialization.legal_serialization`,
+        answered from the warm reachability state (no graph walk per pair).
+
+        Every serialization arc for a pair ends at ``after``'s operation, so
+        a new cycle can only be a base path from the target back to one of
+        the readers -- a handful of set-membership tests on the warm
+        descendant map instead of a mini-graph search.
+        """
+
+        if after.node == BOTTOM or before.node == BOTTOM:
+            return None
+        proto = self._proto_edges(before, after)
+        if not proto:
+            return []
+        kept = self._kept_arcs(proto, after.node)
+        if kept is None:
+            return None
+        return [
+            Edge(reader, after.node, latency, DependenceKind.SERIAL, None)
+            for reader, latency in kept
+        ]
+
+    #: `consider` outcome: the pair's ordering is already forced.
+    IMPLIED = object()
+
+    def consider(
+        self, before: Value, after: Value, base_cp: int
+    ) -> object:
+        """Evaluate one ordered pair in a single pass.
+
+        Returns :data:`IMPLIED` (pair already ordered by the closure), None
+        (illegal or nothing to add), or ``(cp_increase, arc_count, payload)``
+        where *payload* materialises into the arcs via :meth:`apply_payload`.
+        Arcs are not constructed during the scan -- with O(|antichain|^2)
+        pairs per iteration and one winner, the allocation churn dominated
+        the loop.
+
+        Because all of the pair's arcs end at the same target, the extended
+        critical path closed-forms to
+        ``max(cp, max(asap[target], asap[reader] + latency) + to_sinks[target])``
+        -- no longest-path matrix, no graph copy.
+        """
+
+        if after.node == BOTTOM or before.node == BOTTOM:
+            return None
+        proto = self._proto_edges(before, after)
+        if not proto:
+            return None
+        target = after.node
+        desc = self._analysis.descendants_excl()
+        # The reachability screen + exact longest-path confirmation of the
+        # `implied` pre-filter, inlined.
+        for reader, _latency in proto:
+            if target not in desc[reader]:
+                break
+        else:
+            for reader, latency in proto:
+                if self.lp_row(reader)[target] < latency:
+                    break
+            else:
+                self.stats["implied_skipped"] += 1
+                return self.IMPLIED
+
+        kept = self._kept_arcs(proto, target)
+        if not kept:
+            return None  # a cycle, or everything dominated by existing arcs
+        self.stats["evaluated_candidates"] += 1
+        self._refresh_cp_state()
+        asap = self._asap
+        best_target = asap[target]
+        for reader, latency in kept:
+            cand = asap[reader] + latency
+            if cand > best_target:
+                best_target = cand
+        cp_after = int(max(self._cp, best_target + self._to_sinks[target]))
+        return cp_after - base_cp, len(kept), (target, kept)
+
+    def apply_payload(self, payload) -> List[Edge]:
+        """Materialise and push the arcs of a winning :meth:`consider` payload."""
+
+        target, kept = payload
+        edges = [
+            Edge(reader, target, latency, DependenceKind.SERIAL, None)
+            for reader, latency in kept
+        ]
+        self.push(edges)
+        return edges
+
+    # ------------------------------------------------------------------ #
+    # Mutation with undo
+    # ------------------------------------------------------------------ #
+    def push(self, edges) -> None:
+        """Apply serialization arcs in place (undoable via :meth:`pop`).
+
+        The caller is expected to pass arcs vetted by
+        :meth:`legal_serialization`; acyclicity is asserted exactly like the
+        historic loop asserted it after every ``apply_serialization``.
+        """
+
+        edges = list(edges)
+        assert self._analysis.remains_acyclic_with_edges(edges), (
+            f"serializing {self.ddg.name!r} must keep the DDG acyclic"
+        )
+        self._saturation.push(edges)
+        self.stats["pushes"] += 1
+
+    def pop(self) -> None:
+        """Undo the most recent push, restoring the exact prior state."""
+
+        self._saturation.pop()
+        self.stats["pops"] += 1
+
+    def saturation(self) -> SaturationResult:
+        """Greedy-k of the working graph, warm-started from the last iteration."""
+
+        return self._saturation.saturation()
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by the undo-safety tests and the benchmarks)
+    # ------------------------------------------------------------------ #
+    @property
+    def killing_set_cache(self) -> _KillingSetCache:
+        return self._saturation.killing_set_cache  # type: ignore[return-value]
+
+    @property
+    def saturation_stats(self) -> Dict[str, int]:
+        """DV-DAG reuse counters of the warm saturation state."""
+
+        return self._saturation.stats
+
+    def analysis_fingerprint(self) -> Dict[str, object]:
+        """A value-level snapshot of the observable analysis state.
+
+        Used to assert that ``push`` followed by ``pop`` restores *exactly*
+        the prior state: graph arcs, reachability, longest paths, potential
+        killers, and the saturation outcome.
+        """
+
+        g = self.ddg
+        desc = self._analysis.descendants_incl()
+        sat = self.saturation()
+        return {
+            "edges": sorted(
+                (e.src, e.dst, e.latency, e.kind.value, None if e.rtype is None else e.rtype.name)
+                for e in g.edges()
+            ),
+            "descendants": {node: frozenset(desc[node]) for node in g.nodes()},
+            "critical_path": self.critical_path(),
+            "bottom_critical_path": self.bottom_critical_path(),
+            "rs": sat.rs,
+            "saturating_values": tuple(sat.saturating_values),
+            "killing_function": None
+            if sat.killing_function is None
+            else tuple(sorted((str(v), k) for v, k in sat.killing_function.items())),
+        }

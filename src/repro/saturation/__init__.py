@@ -27,6 +27,7 @@ from .enumeration import (
 )
 from .exact_ilp import RSModelInfo, build_rs_program, exact_saturation, never_simultaneously_alive
 from .greedy import greedy_killing_function, greedy_saturation
+from .incremental import IncrementalAnalysis, IncrementalSaturation
 from .pkill import (
     KillingFunction,
     canonical_killing_function,
@@ -55,6 +56,8 @@ __all__ = [
     "enumerate_killing_functions",
     "greedy_saturation",
     "greedy_killing_function",
+    "IncrementalAnalysis",
+    "IncrementalSaturation",
     "exact_saturation",
     "build_rs_program",
     "RSModelInfo",

@@ -73,6 +73,7 @@ def disjoint_value_dag(
     ddg: DDG,
     kf: KillingFunction,
     killed: Optional[DDG] = None,
+    killed_ctx=None,
 ) -> DisjointValueDAG:
     """Build ``DV_k(G)`` for the killing function *kf*.
 
@@ -86,6 +87,10 @@ def disjoint_value_dag(
     killed:
         The killed graph ``G->k`` if the caller already built it (avoids a
         recomputation inside loops over candidate killing functions).
+    killed_ctx:
+        Optional :class:`~repro.analysis.context.AnalysisContext` of
+        *killed* -- callers that keep killed graphs warm across reduction
+        iterations pass it so the longest-path rows are reused.
     """
 
     rtype = kf.rtype
@@ -95,7 +100,8 @@ def disjoint_value_dag(
 
     # Longest paths are only needed from killer nodes; the killed graph's
     # context shares one topological sort across all of them.
-    killed_ctx = context_for(killed)
+    if killed_ctx is None:
+        killed_ctx = context_for(killed)
     killers = sorted({killer for killer in kf.mapping.values()})
     lp_from_killer: Dict[str, Mapping[str, float]] = {
         killer: killed_ctx.longest_paths_from(killer) for killer in killers
@@ -131,8 +137,9 @@ def saturating_antichain(
     ddg: DDG,
     kf: KillingFunction,
     killed: Optional[DDG] = None,
+    killed_ctx=None,
 ) -> Tuple[List[Value], DisjointValueDAG]:
     """Maximum antichain of ``DV_k(G)`` together with the DAG itself."""
 
-    dag = disjoint_value_dag(ddg, kf, killed)
+    dag = disjoint_value_dag(ddg, kf, killed, killed_ctx=killed_ctx)
     return dag.maximum_antichain(), dag

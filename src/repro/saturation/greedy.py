@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, MutableMapping, Optional, Sequence, Set, Tuple
 
 from ..analysis.context import AnalysisContext, context_for
 from ..core.graph import DDG
@@ -160,27 +160,72 @@ def _choose_killing_set(
     return chosen
 
 
+def _component_signature(
+    comp_values: Sequence[Value],
+    comp_killers: Sequence[str],
+    pk: Mapping[Value, List[str]],
+    desc_values: Mapping[str, FrozenSet[str]],
+) -> Tuple:
+    """A hashable fingerprint of everything `_choose_killing_set` reads.
+
+    Two components with equal signatures provably receive the same killing
+    set (the choice is a pure function of these inputs), which is what lets
+    the reduction session reuse choices across iterations: serial arcs only
+    perturb components near their endpoints, so most signatures repeat.
+    """
+
+    return (
+        tuple(comp_values),
+        tuple(comp_killers),
+        tuple(tuple(pk[v]) for v in comp_values),
+        tuple(desc_values[k] for k in comp_killers),
+    )
+
+
 def greedy_killing_function(
     ddg: DDG,
     rtype: RegisterType | str,
     ctx: Optional[AnalysisContext] = None,
+    killing_set_cache: Optional[MutableMapping] = None,
 ) -> KillingFunction:
-    """The killing function selected by the Greedy-k heuristic (before fallback)."""
+    """The killing function selected by the Greedy-k heuristic (before fallback).
+
+    *killing_set_cache* is an optional mapping from component signatures to
+    chosen killing sets; it never changes the result (the choice is a pure
+    function of the signature) but lets the incremental reduction engine
+    skip the exhaustive subset search for components untouched by the last
+    serialization.
+    """
 
     rtype = canonical_type(rtype)
     ctx = ctx if ctx is not None else context_for(ddg)
     pk = potential_killers_map(ddg, rtype, ctx)
     desc = ctx.descendants_map(include_self=False)
     value_nodes = {v.node for v in pk}
-    desc_values = {
-        killer: _descendant_values(desc, killer, value_nodes)
-        for killers in pk.values()
-        for killer in killers
-    }
+
+    def compute_desc_values() -> Dict[str, FrozenSet[str]]:
+        return {
+            killer: _descendant_values(desc, killer, value_nodes)
+            for killers in pk.values()
+            for killer in killers
+        }
+
+    # Memoized on the context so the incremental engine can inject the
+    # dirty-region-patched sets instead of rebuilding every frozenset.
+    desc_values = ctx.memo(("killer_desc_values", rtype), compute_desc_values)
 
     mapping: Dict[Value, str] = {}
     for comp_values, comp_killers in _bipartite_components(pk):
-        killing_set = _choose_killing_set(comp_values, comp_killers, pk, desc_values)
+        if killing_set_cache is not None:
+            signature = _component_signature(comp_values, comp_killers, pk, desc_values)
+            killing_set = killing_set_cache.get(signature)
+            if killing_set is None:
+                killing_set = _choose_killing_set(
+                    comp_values, comp_killers, pk, desc_values
+                )
+                killing_set_cache[signature] = killing_set
+        else:
+            killing_set = _choose_killing_set(comp_values, comp_killers, pk, desc_values)
         killing_set_set = set(killing_set)
         for value in comp_values:
             candidates = [k for k in pk[value] if k in killing_set_set]
@@ -224,6 +269,8 @@ def greedy_saturation(
     rtype: RegisterType | str,
     extra_candidates: bool = True,
     ctx: Optional[AnalysisContext] = None,
+    killing_set_cache: Optional[MutableMapping] = None,
+    candidate_evaluator=None,
 ) -> SaturationResult:
     """Approximate the register saturation ``RS_t(G)`` with the Greedy-k heuristic.
 
@@ -243,6 +290,18 @@ def greedy_saturation(
         *ddg*.  The final result is memoized on it, so the pipeline stages
         and the reduction pass asking for the same saturation pay for one
         computation.
+    killing_set_cache:
+        Optional cross-iteration cache of killing-set choices keyed by
+        bipartite-component signature (see
+        :class:`~repro.saturation.incremental.IncrementalSaturation`).  It
+        only affects speed, never the result.
+    candidate_evaluator:
+        Optional ``(label, killing_function) -> antichain | None`` hook that
+        replaces the killed-graph construction + DV-DAG + antichain per
+        candidate; ``None`` means the killing function is invalid (cyclic
+        killed graph).  The incremental reduction engine supplies its warm
+        per-candidate DV states here; the hook must return exactly what the
+        built-in path would.
 
     Returns
     -------
@@ -257,7 +316,9 @@ def greedy_saturation(
     ctx = ctx if ctx is not None else context_for(ddg)
     return ctx.memo(
         ("greedy_saturation", rtype, extra_candidates),
-        lambda: _greedy_saturation_uncached(ddg, rtype, extra_candidates, ctx),
+        lambda: _greedy_saturation_uncached(
+            ddg, rtype, extra_candidates, ctx, killing_set_cache, candidate_evaluator
+        ),
     )
 
 
@@ -266,6 +327,8 @@ def _greedy_saturation_uncached(
     rtype: RegisterType,
     extra_candidates: bool,
     ctx: AnalysisContext,
+    killing_set_cache: Optional[MutableMapping] = None,
+    candidate_evaluator=None,
 ) -> SaturationResult:
     start = time.perf_counter()
     bottom_ctx = ctx.bottom()
@@ -275,7 +338,9 @@ def _greedy_saturation_uncached(
         return SaturationResult(rtype, 0, method="greedy-k", wall_time=time.perf_counter() - start)
 
     candidates: List[Tuple[str, KillingFunction]] = []
-    greedy_kf = greedy_killing_function(g, rtype, ctx=bottom_ctx)
+    greedy_kf = greedy_killing_function(
+        g, rtype, ctx=bottom_ctx, killing_set_cache=killing_set_cache
+    )
     candidates.append(("greedy-k", greedy_kf))
     if extra_candidates:
         candidates.append(
@@ -298,14 +363,22 @@ def _greedy_saturation_uncached(
     best_kf: Optional[KillingFunction] = None
     best_label = "greedy-k"
     fallback_used = False
+    pk_map = potential_killers_map(g, rtype, bottom_ctx)
     for label, kf in candidates:
-        killed = killed_graph(g, kf)
-        # Through the killed graph's context the acyclicity check shares its
-        # topological sort with the disjoint-value DAG construction below.
-        if not context_for(killed).is_acyclic():
+        antichain: Optional[List[Value]]
+        if candidate_evaluator is not None:
+            antichain = candidate_evaluator(label, kf)
+        else:
+            killed = killed_graph(g, kf, pk=pk_map)
+            # Through the killed graph's context the acyclicity check shares
+            # its topological sort with the disjoint-value DAG construction.
+            if not context_for(killed).is_acyclic():
+                antichain = None
+            else:
+                antichain, _ = saturating_antichain(g, kf, killed)
+        if antichain is None:
             fallback_used = True
             continue
-        antichain, _ = saturating_antichain(g, kf, killed)
         if len(antichain) > best_rs:
             best_rs = len(antichain)
             best_antichain = antichain

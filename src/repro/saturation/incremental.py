@@ -1,0 +1,682 @@
+"""Incremental saturation state shared across reduction iterations.
+
+The value-serialization reduction heuristic runs Greedy-k on a graph that
+changes by ~2 serial arcs per iteration.  Before this module every iteration
+paid for a full graph copy plus from-scratch recomputation of every
+structural analysis (descendant maps, longest-path rows, potential killers,
+bipartite killing components).  Adding serial arcs, however, only *grows*
+reachability and longest paths, and only around the new arcs' endpoints:
+
+* ``desc(x)`` changes only for ancestors ``x`` of a new arc's source, and
+  the change is exactly the union with ``desc(dst)``;
+* ``lp(x, y)`` changes only to ``max(lp(x, y), lp(x, src) + w + lp(dst, y))``
+  (a DAG path uses a given arc at most once);
+* ``pkill(u)`` can only shrink, and only when one of its current potential
+  killers is an ancestor of a new arc's source while another consumer of
+  ``u`` is newly reachable from the arc's destination.
+
+Everything outside that dirty region provably cannot change, so the classes
+below mutate one working DDG in place (with undo) and patch the affected
+entries, sharing every untouched set/row with the previous iteration.  The
+patched analyses are injected into the graph's fresh
+:class:`~repro.analysis.context.AnalysisContext` epoch through
+:meth:`~repro.analysis.context.AnalysisContext.memo`, so the existing
+Greedy-k code path (:mod:`repro.saturation.greedy`, :mod:`.pkill`,
+:mod:`.dvk`) runs unchanged on warm state and returns results identical to a
+from-scratch run -- the property tests in
+``tests/test_reduction_incremental.py`` pin exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, MutableMapping, Optional, Set, Tuple
+
+from ..analysis import graphalgo
+from ..analysis.context import context_for
+from ..core.graph import DDG, Edge
+from ..core.types import RegisterType, Value, canonical_type
+from .result import SaturationResult
+
+__all__ = ["IncrementalAnalysis", "IncrementalSaturation"]
+
+
+@dataclass
+class _AppliedArc:
+    """One arc actually applied by a push (no-ops are not recorded)."""
+
+    edge: Edge
+    #: The lower-latency duplicate this arc replaced, or None when appended.
+    replaced: Optional[Edge]
+    #: Ancestors (inclusive) of the arc's source at application time, or
+    #: None when the destination was already reachable (no new reach pairs).
+    ancestors: Optional[Set[str]]
+    #: ``{dst} ∪ desc(dst)`` at application time (the reachability gained by
+    #: every ancestor of the source), or None like ``ancestors``.
+    addition: Optional[FrozenSet[str]]
+
+
+@dataclass
+class _AnalysisFrame:
+    records: List[_AppliedArc] = field(default_factory=list)
+    desc_incl: Optional[Dict[str, Set[str]]] = None
+    desc_excl: Optional[Dict[str, Set[str]]] = None
+    lp_rows: Optional[Dict[str, Dict[str, float]]] = None
+    #: Warm rows whose entries grew during this push: src -> changed targets.
+    #: Consumers (the DV-DAG dirty-region update) use it to recheck exactly
+    #: the pairs whose longest path moved.
+    lp_changes: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+class IncrementalAnalysis:
+    """In-place serial-arc push/undo on one DDG with exact warm analyses.
+
+    The graph is mutated through the normal :class:`~repro.core.graph.DDG`
+    API (every push/pop bumps ``DDG.version``, keeping the shared
+    :class:`AnalysisContext` honest), while descendant maps and longest-path
+    rows are patched copy-on-write: unchanged sets/rows are shared with the
+    previous epoch, so an undo frame is just a handful of dict references.
+    Instances are not thread-safe; they are meant to back one reduction
+    session at a time.
+    """
+
+    def __init__(self, ddg: DDG, track_reachability: bool = True) -> None:
+        self._g = ddg
+        self._track_reachability = track_reachability
+        self._desc_incl: Optional[Dict[str, Set[str]]] = None
+        self._desc_excl: Optional[Dict[str, Set[str]]] = None
+        self._lp_rows: Dict[str, Dict[str, float]] = {}
+        self._frames: List[_AnalysisFrame] = []
+
+    @property
+    def ddg(self) -> DDG:
+        return self._g
+
+    @property
+    def depth(self) -> int:
+        """Number of push frames currently on the undo stack."""
+
+        return len(self._frames)
+
+    # ------------------------------------------------------------------ #
+    # Warm queries
+    # ------------------------------------------------------------------ #
+    def _ensure_desc(self) -> None:
+        if self._desc_incl is None:
+            ctx = context_for(self._g)
+            self._desc_incl = ctx.descendants_map(include_self=True)
+            self._desc_excl = ctx.descendants_map(include_self=False)
+
+    def descendants_incl(self) -> Dict[str, Set[str]]:
+        self._ensure_desc()
+        return self._desc_incl  # type: ignore[return-value]
+
+    def descendants_excl(self) -> Dict[str, Set[str]]:
+        self._ensure_desc()
+        return self._desc_excl  # type: ignore[return-value]
+
+    def lp_row(self, src: str) -> Dict[str, float]:
+        """Exact longest-path row from *src* (lazily computed, kept warm)."""
+
+        row = self._lp_rows.get(src)
+        if row is None:
+            row = graphalgo.longest_paths_from(
+                self._g, src, order=context_for(self._g).topological_order()
+            )
+            self._lp_rows[src] = row
+        return row
+
+    def _transient_row(self, src: str) -> Dict[str, float]:
+        """A row for one-shot use that must NOT join the warm set.
+
+        Every cached row is patched on every subsequent push; rows needed
+        only once (the continuation row of a pushed arc's destination) would
+        otherwise pollute the cache and grow the per-push patch loop
+        unboundedly over a long reduction run.
+        """
+
+        row = self._lp_rows.get(src)
+        if row is not None:
+            return row
+        return graphalgo.longest_paths_from(
+            self._g, src, order=context_for(self._g).topological_order()
+        )
+
+    def remains_acyclic_with_edges(self, edges) -> bool:
+        return graphalgo.mini_graph_remains_acyclic(
+            edges, self.descendants_excl().__getitem__
+        )
+
+    def critical_path_with_edges(self, edges) -> int:
+        ctx = context_for(self._g)
+        return graphalgo.extended_critical_path(
+            edges,
+            ctx.asap_times(),
+            ctx.longest_path_to_sinks(),
+            self.lp_row,
+            ctx.critical_path_length(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _find_duplicate(self, edge: Edge) -> Optional[Edge]:
+        for existing in self._g.edges_between(edge.src, edge.dst):
+            if existing.kind is edge.kind and existing.rtype == edge.rtype:
+                return existing
+        return None
+
+    def _ancestors_incl(self, node: str) -> Set[str]:
+        seen: Set[str] = {node}
+        stack = [node]
+        while stack:
+            v = stack.pop()
+            for w in self._g.predecessors(v):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    def push(self, edges) -> _AnalysisFrame:
+        """Apply serial arcs in place; returns the frame with dirty-region info.
+
+        Duplicate arcs already dominated by an equal-or-larger latency are
+        no-ops (exactly like :meth:`DDG.add_edge`); dominated duplicates are
+        replaced and remembered so :meth:`pop` can restore them.
+        """
+
+        if self._track_reachability:
+            self._ensure_desc()
+        frame = _AnalysisFrame(
+            desc_incl=self._desc_incl,
+            desc_excl=self._desc_excl,
+            lp_rows=self._lp_rows,
+        )
+        # Copy-on-write epoch: top-level dicts are fresh, the sets/rows they
+        # point to are shared until individually patched.
+        track_desc = self._desc_incl is not None
+        if track_desc:
+            self._desc_incl = dict(self._desc_incl)  # type: ignore[arg-type]
+            self._desc_excl = dict(self._desc_excl)  # type: ignore[arg-type]
+        self._lp_rows = dict(self._lp_rows)
+
+        for edge in edges:
+            duplicate = self._find_duplicate(edge)
+            if duplicate is not None and duplicate.latency >= edge.latency:
+                continue  # no-op: the graph is untouched
+            # The row from the arc's destination is identical before and
+            # after the insertion (dst cannot reach src in a DAG), and it is
+            # exactly the continuation every updated row needs.
+            row_dst = self._transient_row(edge.dst)
+            self._g.add_edge(edge)
+
+            # Longest-path rows: lp'(x, y) = max(lp(x, y), lp(x, src)+w+lp(dst, y)).
+            w = edge.latency
+            for src, row in list(self._lp_rows.items()):
+                base = row[edge.src]
+                if base == graphalgo.NEG_INF:
+                    continue
+                patched: Optional[Dict[str, float]] = None
+                changed: List[str] = []
+                for y, dv in row_dst.items():
+                    if dv == graphalgo.NEG_INF:
+                        continue
+                    cand = base + w + dv
+                    current = row if patched is None else patched
+                    if cand > current[y]:
+                        if patched is None:
+                            patched = dict(row)
+                        patched[y] = cand
+                        changed.append(y)
+                if patched is not None:
+                    self._lp_rows[src] = patched
+                    frame.lp_changes.setdefault(src, set()).update(changed)
+
+            ancestors: Optional[Set[str]] = None
+            addition: Optional[FrozenSet[str]] = None
+            if track_desc and duplicate is None and edge.dst not in self._desc_incl[edge.src]:
+                # Reachability actually grew: every ancestor of src now also
+                # reaches {dst} ∪ desc(dst).
+                addition = frozenset(self._desc_incl[edge.dst])
+                ancestors = self._ancestors_incl(edge.src)
+                for x in ancestors:
+                    current = self._desc_incl[x]
+                    if not addition <= current:
+                        self._desc_incl[x] = current | addition
+                        self._desc_excl[x] = self._desc_excl[x] | addition
+            frame.records.append(
+                _AppliedArc(edge, duplicate, ancestors, addition)
+            )
+
+        self._frames.append(frame)
+        self._inject()
+        return frame
+
+    def pop(self) -> None:
+        """Undo the most recent :meth:`push`, restoring graph and analyses."""
+
+        if not self._frames:
+            raise IndexError("no pushed serialization frame to pop")
+        frame = self._frames.pop()
+        for record in reversed(frame.records):
+            self._g.remove_edge(record.edge)
+            if record.replaced is not None:
+                self._g.add_edge(record.replaced)
+        self._desc_incl = frame.desc_incl
+        self._desc_excl = frame.desc_excl
+        self._lp_rows = frame.lp_rows
+        self._inject()
+
+    def _inject(self) -> None:
+        """Seed the graph's fresh context epoch with the patched analyses.
+
+        ``memo`` stores the value under the graph's *current* revision, so
+        every pass querying the shared context after a push/pop sees the
+        incrementally-maintained (and provably equal) maps instead of
+        recomputing them.
+        """
+
+        if self._desc_incl is None:
+            return
+        ctx = context_for(self._g)
+        desc_incl, desc_excl = self._desc_incl, self._desc_excl
+        ctx.memo(("desc", True), lambda: desc_incl)
+        ctx.memo(("desc", False), lambda: desc_excl)
+
+
+#: Sentinel returned by `_CandidateDVState.antichain` when the DV relation
+#: unexpectedly has a cycle and the generic path must decide.
+_GENERIC_FALLBACK = object()
+
+
+class _CandidateDVState:
+    """The warm disjoint-value DAG of one candidate killing function.
+
+    The Greedy-k heuristic evaluates the same few candidate labels
+    (greedy-k / canonical / schedule-induced) every reduction iteration, and
+    their killing functions rarely change between iterations.  For a fixed
+    killing function the killed graph only gains the pushed serial arcs, so
+    its longest paths -- and therefore the DV-DAG edges, which are threshold
+    tests on those paths -- grow monotonically.  This state keeps the killed
+    graph alive as an :class:`IncrementalAnalysis` mirror and stores the DV
+    relation as one bitset per killer; a push only rechecks the (killer,
+    value) pairs whose longest-path entry actually moved (reported by the
+    mirror's patch log).
+
+    The DV condition ``lp(k(u), v) >= delta_r(k(u)) - delta_w(v)`` depends
+    on ``u`` only through its killer, so values sharing a killer share the
+    killer's bitset (minus their own bit).
+    """
+
+    def __init__(
+        self,
+        values: Tuple[Value, ...],
+        node_index: Mapping[str, int],
+        delta_w: Mapping[int, int],
+    ) -> None:
+        self._values = values
+        self._node_index = node_index
+        self._delta_w = delta_w
+        self.valid = False
+        self.cyclic = False
+        self.kf_mapping: Optional[Dict[Value, str]] = None
+        self._pk_ref: Optional[Mapping[Value, List[str]]] = None
+        self._pk_lists: Dict[Value, List[str]] = {}
+        self.analysis: Optional[IncrementalAnalysis] = None
+        self._killer_read: Dict[str, int] = {}
+        self._killer_bits: Dict[str, int] = {}
+        self._killer_of: List[Optional[str]] = []
+
+    def matches(self, kf, pk: Mapping[Value, List[str]]) -> bool:
+        """Whether the stored state is exactly this killing function's.
+
+        The killed graph's arcs depend on the killing function *and* on the
+        potential-killers lists of its values (the arcs come from the other
+        potential killers), so both must be unchanged for reuse.
+        """
+
+        if not self.valid or self.kf_mapping != kf.mapping:
+            return False
+        if pk is self._pk_ref:
+            return True
+        for value, killers in self._pk_lists.items():
+            current = pk.get(value, [])
+            if current is not killers and current != killers:
+                return False
+        return True
+
+    def rebuild(self, bottom_ddg: DDG, kf, pk: Mapping[Value, List[str]]) -> None:
+        from .pkill import killed_graph  # local: avoids import cycle
+
+        self.kf_mapping = dict(kf.mapping)
+        self._pk_ref = pk
+        self._pk_lists = {value: pk.get(value, []) for value in kf.mapping}
+        killed = killed_graph(bottom_ddg, kf, pk=pk)
+        if not context_for(killed).is_acyclic():
+            # An invalid killing function stays invalid: cycles survive
+            # every further arc addition, so this is cached until the
+            # killing function itself changes.
+            self.cyclic = True
+            self.analysis = None
+            self.valid = True
+            return
+        self.cyclic = False
+        # Reachability tracking is skipped: the sync's cycle test reads the
+        # arcs' target row instead of a descendant map.
+        self.analysis = IncrementalAnalysis(killed, track_reachability=False)
+        self._killer_of = [kf.mapping.get(v) for v in self._values]
+        killers = sorted(set(kf.mapping.values()))
+        self._killer_read = {k: killed.operation(k).delta_r for k in killers}
+        bits: Dict[str, int] = {}
+        for killer in killers:
+            # Seeding every killer row here is what makes the sync exact:
+            # the mirror patches cached rows and logs each change.
+            row = self.analysis.lp_row(killer)
+            read = self._killer_read[killer]
+            mask = 0
+            for j, v in enumerate(self._values):
+                dist = row[v.node]
+                if dist != graphalgo.NEG_INF and dist >= read - self._delta_w[j]:
+                    mask |= 1 << j
+            bits[killer] = mask
+        self._killer_bits = bits
+        self.valid = True
+
+    def sync(self, edges) -> None:
+        """Mirror a push of the base graph; recheck only the moved lp entries."""
+
+        if not self.valid or self.cyclic or self.analysis is None:
+            return
+        targets = {e.dst for e in edges}
+        if len(targets) == 1:
+            # Serialization arcs of one candidate share their destination, so
+            # a new cycle in the killed graph must be a base path from the
+            # target back to a source; one longest-path row answers that.
+            (target,) = targets
+            row = self.analysis._transient_row(target)
+            if any(row[e.src] != graphalgo.NEG_INF for e in edges):
+                self.cyclic = True
+                return
+        elif not self.analysis.remains_acyclic_with_edges(edges):
+            self.cyclic = True
+            return
+        frame = self.analysis.push(edges)
+        for src, targets in frame.lp_changes.items():
+            read = self._killer_read.get(src)
+            if read is None:
+                continue
+            row = self.analysis.lp_row(src)
+            mask = self._killer_bits[src]
+            for y in targets:
+                j = self._node_index.get(y)
+                if j is not None and row[y] >= read - self._delta_w[j]:
+                    mask |= 1 << j
+            self._killer_bits[src] = mask
+
+    def antichain(self):
+        """The maximum DV antichain, or the generic-fallback sentinel.
+
+        Identical to ``saturating_antichain`` on the same killed graph: the
+        bitset closure has the same content as the pair-set closure and the
+        split-graph adjacency is produced in the same (ascending) order, so
+        the matching and the Koenig extraction walk the same path.
+        """
+
+        values = self._values
+        n = len(values)
+        rows = [
+            0 if killer is None else self._killer_bits[killer] & ~(1 << i)
+            for i, killer in enumerate(self._killer_of)
+        ]
+        # Kahn over the bit relation; a cycle (possible only in exotic
+        # negative-latency configurations) defers to the generic path.
+        indeg = [0] * n
+        for mask in rows:
+            while mask:
+                low = mask & -mask
+                indeg[low.bit_length() - 1] += 1
+                mask ^= low
+        stack = [i for i in range(n) if indeg[i] == 0]
+        order: List[int] = []
+        while stack:
+            i = stack.pop()
+            order.append(i)
+            mask = rows[i]
+            while mask:
+                low = mask & -mask
+                j = low.bit_length() - 1
+                mask ^= low
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    stack.append(j)
+        if len(order) != n:
+            return _GENERIC_FALLBACK
+        closure = [0] * n
+        for i in reversed(order):
+            acc = 0
+            mask = rows[i]
+            while mask:
+                low = mask & -mask
+                acc |= low | closure[low.bit_length() - 1]
+                mask ^= low
+            closure[i] = acc
+        adj: List[List[int]] = []
+        for i in range(n):
+            mask = closure[i]
+            row_list: List[int] = []
+            while mask:
+                low = mask & -mask
+                row_list.append(low.bit_length() - 1)
+                mask ^= low
+            adj.append(row_list)
+        from ..analysis.antichain import maximum_antichain_from_adjacency
+
+        return maximum_antichain_from_adjacency(list(values), adj)
+
+
+class IncrementalSaturation:
+    """Greedy-k saturation state kept warm across serialization pushes.
+
+    Owns the bottom-normalised mirror of a working graph (built once and
+    mutated in lock-step, instead of re-deriving ``G ∪ {⊥}`` per iteration)
+    plus the saturation-specific analyses: the potential-killers map, the
+    killers' descendant-value sets, a cross-iteration cache of killing sets
+    keyed by bipartite-component signature, and one warm
+    :class:`_CandidateDVState` per Greedy-k candidate label.  After every
+    push only the dirty region -- values/killers reachable from the new
+    arcs' endpoints -- is recomputed; the rest is shared with the previous
+    iteration.
+    """
+
+    def __init__(self, analysis: IncrementalAnalysis, rtype: RegisterType | str) -> None:
+        self.rtype = canonical_type(rtype)
+        self._working = analysis
+        g = analysis.ddg
+        if g.has_bottom:
+            self._mirror = analysis
+        else:
+            self._mirror = IncrementalAnalysis(g.with_bottom())
+        self._pk: Optional[Dict[Value, List[str]]] = None
+        self._cons: Dict[Value, Tuple[str, ...]] = {}
+        self._value_nodes: Set[str] = set()
+        self._kdv: Optional[Dict[str, FrozenSet[str]]] = None
+        self._frames: List[Tuple[object, object]] = []
+        #: Component-signature -> chosen killing set; survives graph epochs
+        #: because identical components provably yield identical choices.
+        self.killing_set_cache: MutableMapping = {}
+        mirror = self._mirror.ddg
+        self._values: Tuple[Value, ...] = tuple(sorted(mirror.values(self.rtype)))
+        self._node_index: Dict[str, int] = {
+            v.node: i for i, v in enumerate(self._values)
+        }
+        self._delta_w: Dict[int, int] = {
+            i: mirror.operation(v.node).delta_w for i, v in enumerate(self._values)
+        }
+        self._candidate_states: Dict[str, _CandidateDVState] = {}
+        self.stats: Dict[str, int] = {"dv_rebuilds": 0, "dv_reuses": 0}
+
+    @property
+    def working_ddg(self) -> DDG:
+        return self._working.ddg
+
+    @property
+    def mirror_ddg(self) -> DDG:
+        return self._mirror.ddg
+
+    # ------------------------------------------------------------------ #
+    # Saturation-state maintenance
+    # ------------------------------------------------------------------ #
+    def _ensure_pk(self) -> None:
+        if self._pk is not None:
+            return
+        from .pkill import potential_killers_map  # local: avoids import cycle
+
+        mirror = self._mirror.ddg
+        mctx = context_for(mirror)
+        self._pk = potential_killers_map(mirror, self.rtype, mctx)
+        self._cons = {
+            value: tuple(mirror.consumers(value.node, self.rtype))
+            for value in self._pk
+        }
+        self._value_nodes = {v.node for v in self._pk}
+        desc_excl = self._mirror.descendants_excl()
+        self._kdv = {
+            killer: frozenset(desc_excl[killer] & self._value_nodes)
+            for killers in self._pk.values()
+            for killer in killers
+        }
+
+    def _update_after_push(self, records: List[_AppliedArc]) -> None:
+        from .pkill import potential_killers  # local: avoids import cycle
+
+        assert self._pk is not None and self._kdv is not None
+        pk_old = self._pk
+        changed_nodes: Set[str] = set()
+        dirty: Set[Value] = set()
+        for record in records:
+            if record.addition is None or record.ancestors is None:
+                continue
+            changed_nodes |= record.ancestors
+            ancestors, addition = record.ancestors, record.addition
+            for value, killers in pk_old.items():
+                if value in dirty or not killers:
+                    continue
+                # pkill(u) can only lose a killer k when k (an ancestor of
+                # the arc's source) newly reaches another consumer of u.
+                if any(k in ancestors for k in killers) and any(
+                    c in addition for c in self._cons[value]
+                ):
+                    dirty.add(value)
+        if not changed_nodes:
+            return
+
+        mirror = self._mirror.ddg
+        desc_incl = self._mirror.descendants_incl()
+        if dirty:
+            pk_new = dict(pk_old)
+            for value in dirty:
+                pk_new[value] = potential_killers(
+                    mirror, value, desc_incl, consumers=self._cons[value]
+                )
+            self._pk = pk_new
+
+        desc_excl = self._mirror.descendants_excl()
+        kdv_old, kdv_new = self._kdv, {}
+        for killers in self._pk.values():
+            for killer in killers:
+                if killer in kdv_new:
+                    continue
+                previous = kdv_old.get(killer)
+                if previous is not None and killer not in changed_nodes:
+                    kdv_new[killer] = previous
+                else:
+                    kdv_new[killer] = frozenset(desc_excl[killer] & self._value_nodes)
+        self._kdv = kdv_new
+
+    # ------------------------------------------------------------------ #
+    # Push / pop / query
+    # ------------------------------------------------------------------ #
+    def push(self, edges) -> None:
+        edges = list(edges)
+        self._ensure_pk()
+        self._frames.append((self._pk, self._kdv))
+        self._working.push(edges)
+        if self._mirror is not self._working:
+            frame = self._mirror.push(edges)
+        else:
+            frame = self._working._frames[-1]
+        self._update_after_push(frame.records)
+        for state in self._candidate_states.values():
+            state.sync(edges)
+        self._inject()
+
+    def pop(self) -> None:
+        if not self._frames:
+            raise IndexError("no pushed serialization frame to pop")
+        pk, kdv = self._frames.pop()
+        self._working.pop()
+        if self._mirror is not self._working:
+            self._mirror.pop()
+        self._pk = pk  # type: ignore[assignment]
+        self._kdv = kdv  # type: ignore[assignment]
+        # Candidate DV states are forward-only (their killed mirrors grew
+        # with the popped arcs); they are rebuilt lazily on the next query.
+        self._candidate_states.clear()
+        self._inject()
+
+    def _inject(self) -> None:
+        mctx = context_for(self._mirror.ddg)
+        if self._pk is not None:
+            pk, kdv = self._pk, self._kdv
+            mctx.memo(("pkill", self.rtype), lambda: pk)
+            mctx.memo(("killer_desc_values", self.rtype), lambda: kdv)
+        if self._mirror is not self._working:
+            wctx = context_for(self._working.ddg)
+            wctx.memo("bottom", lambda: mctx)
+
+    def candidate_antichain(self, label: str, kf) -> Optional[List[Value]]:
+        """Warm evaluation of one Greedy-k candidate killing function.
+
+        Returns the maximum DV antichain -- provably equal to
+        ``saturating_antichain`` on a freshly built killed graph -- or None
+        when the killing function is invalid (cyclic killed graph), which is
+        exactly the generic loop's skip condition.
+        """
+
+        self._ensure_pk()
+        assert self._pk is not None
+        state = self._candidate_states.get(label)
+        if state is None:
+            state = _CandidateDVState(self._values, self._node_index, self._delta_w)
+            self._candidate_states[label] = state
+        if state.matches(kf, self._pk):
+            self.stats["dv_reuses"] += 1
+        else:
+            state.rebuild(self._mirror.ddg, kf, self._pk)
+            self.stats["dv_rebuilds"] += 1
+        if state.cyclic:
+            return None
+        result = state.antichain()
+        if result is _GENERIC_FALLBACK:  # pragma: no cover - exotic latencies
+            from .dvk import saturating_antichain
+
+            assert state.analysis is not None
+            antichain, _ = saturating_antichain(
+                self._mirror.ddg, kf, killed=state.analysis.ddg
+            )
+            return antichain
+        return result
+
+    def saturation(self) -> SaturationResult:
+        """Greedy-k of the working graph, identical to a from-scratch run."""
+
+        from .greedy import greedy_saturation  # local: avoids import cycle
+
+        self._inject()
+        return greedy_saturation(
+            self._working.ddg,
+            self.rtype,
+            ctx=context_for(self._working.ddg),
+            killing_set_cache=self.killing_set_cache,
+            candidate_evaluator=self.candidate_antichain,
+        )

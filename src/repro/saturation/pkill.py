@@ -45,14 +45,19 @@ def potential_killers(
     ddg: DDG,
     value: Value,
     desc: Optional[Mapping[str, Set[str]]] = None,
+    consumers: Optional[Sequence[str]] = None,
 ) -> List[str]:
     """The potential killers ``pkill(u^t)`` of *value*.
 
     A consumer ``v`` is a potential killer iff no *other* consumer of the
-    value is reachable from ``v`` (``↓v ∩ Cons(u^t) = {v}``).
+    value is reachable from ``v`` (``↓v ∩ Cons(u^t) = {v}``).  *desc* and
+    *consumers* accept precomputed state (the incremental saturation engine
+    keeps both warm across reduction iterations); when given, *consumers*
+    must equal ``ddg.consumers(value.node, value.rtype)``.
     """
 
-    consumers = ddg.consumers(value.node, value.rtype)
+    if consumers is None:
+        consumers = ddg.consumers(value.node, value.rtype)
     if desc is None:
         desc = context_for(ddg).descendants_map(include_self=True)
     cons_set = set(consumers)
@@ -148,6 +153,7 @@ def killed_graph(
     ddg: DDG,
     kf: KillingFunction,
     from_all_consumers: bool = False,
+    pk: Optional[Mapping[Value, List[str]]] = None,
 ) -> DDG:
     """The killed graph ``G->k``: *ddg* plus the arcs enforcing the killing choices.
 
@@ -157,11 +163,14 @@ def killed_graph(
     ``sigma(k) + delta_r(k) >= sigma(v) + delta_r(v)``: the chosen killer is a
     last reader of the value.  With ``from_all_consumers=True`` the arcs are
     added from *every* other consumer, a strictly more conservative variant
-    that is convenient when the reading offsets differ wildly.
+    that is convenient when the reading offsets differ wildly.  *pk* accepts
+    a precomputed potential-killers map (must equal
+    :func:`potential_killers_map` of *ddg*).
     """
 
     g = ddg.copy(name=f"{ddg.name}->k")
-    pk = potential_killers_map(ddg, kf.rtype)
+    if pk is None:
+        pk = potential_killers_map(ddg, kf.rtype)
     for value, killer in kf.items():
         others: Iterable[str]
         if from_all_consumers:

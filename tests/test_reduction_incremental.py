@@ -1,0 +1,280 @@
+"""Property tests pinning the incremental reduction engine to the from-scratch loop.
+
+The :class:`~repro.reduction.session.ReductionSession` exists purely for
+speed: it mutates one working DDG in place and patches analyses in the
+dirty region instead of recomputing them.  Nothing it reports may differ
+from the historic copy-per-iteration loop.  These tests enforce that over
+random DAG populations and the paper kernels, plus the undo contract: a
+popped serialization must restore the *exact* prior analysis state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import context_for
+from repro.codes.generator import (
+    layered_random_ddg,
+    random_expression_forest,
+    random_loop_body,
+    random_superblock,
+)
+from repro.codes.kernels import figure2_dag
+from repro.codes.suite import kernel_suite
+from repro.core.types import INT, Value
+from repro.reduction import ReductionSession, reduce_saturation_heuristic
+from repro.saturation import greedy_saturation
+from repro.saturation.incremental import IncrementalAnalysis
+
+
+def _normalize(result):
+    """Everything a ReductionResult reports except wall time and engine tags."""
+
+    details = {
+        k: v for k, v in result.details.items() if k not in ("engine", "engine_stats")
+    }
+    return (
+        result.rtype,
+        result.target,
+        result.success,
+        result.original_rs,
+        result.achieved_rs,
+        result.added_edges,
+        result.critical_path_before,
+        result.critical_path_after,
+        result.method,
+        result.optimal,
+        details,
+        result.extended_ddg.name,
+        sorted(
+            (e.src, e.dst, e.latency, e.kind.value, e.rtype)
+            for e in result.extended_ddg.edges()
+        ),
+    )
+
+
+def _both_engines(ddg, rtype, budget, **kwargs):
+    scratch = reduce_saturation_heuristic(
+        ddg.copy(), rtype, budget, engine="from-scratch", **kwargs
+    )
+    incremental = reduce_saturation_heuristic(
+        ddg.copy(), rtype, budget, engine="incremental", **kwargs
+    )
+    return scratch, incremental
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_layered_random_dags(self, seed):
+        ddg = layered_random_ddg(
+            nodes=14 + seed, layers=3 + seed % 3,
+            edge_probability=0.3 + 0.02 * seed, seed=seed,
+        )
+        for budget in (2, 4):
+            scratch, incremental = _both_engines(ddg, INT, budget)
+            assert _normalize(scratch) == _normalize(incremental)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_loop_bodies_all_register_types(self, seed):
+        ddg = random_loop_body(operations=15 + seed, ilp_degree=2 + seed % 3, seed=seed)
+        for rtype in ddg.register_types():
+            scratch, incremental = _both_engines(ddg, rtype, 3)
+            assert _normalize(scratch) == _normalize(incremental)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_expression_forests(self, seed):
+        ddg = random_expression_forest(trees=2 + seed % 3, depth=2 + seed % 2, seed=seed)
+        rtype = ddg.register_types()[0]
+        scratch, incremental = _both_engines(ddg, rtype, 2)
+        assert _normalize(scratch) == _normalize(incremental)
+
+    def test_superblock_tier(self):
+        ddg = random_superblock(operations=60, seed=3)
+        scratch, incremental = _both_engines(ddg, INT, 6)
+        assert _normalize(scratch) == _normalize(incremental)
+        assert incremental.details["engine"] == "incremental"
+        assert scratch.details["engine"] == "from-scratch"
+
+    def test_all_kernels(self):
+        for entry in kernel_suite():
+            for rtype in entry.ddg.register_types():
+                scratch, incremental = _both_engines(entry.ddg, rtype, 3)
+                assert _normalize(scratch) == _normalize(incremental), entry.name
+
+    def test_sequential_mode(self):
+        ddg = figure2_dag()
+        scratch, incremental = _both_engines(ddg, INT, 3, mode="sequential")
+        assert _normalize(scratch) == _normalize(incremental)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_saturation_heuristic(figure2_dag(), INT, 3, engine="magic")
+
+    def test_skipped_pair_counts_reported(self):
+        ddg = layered_random_ddg(nodes=24, layers=4, seed=11)
+        scratch, incremental = _both_engines(ddg, INT, 3)
+        for result in (scratch, incremental):
+            assert "skipped_implied_pairs" in result.details
+            assert result.details["skipped_implied_pairs"] >= 0
+        assert (
+            scratch.details["skipped_implied_pairs"]
+            == incremental.details["skipped_implied_pairs"]
+        )
+
+
+class TestSessionSaturation:
+    """The session's warm Greedy-k must equal a cold run on an equal graph."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_saturation_matches_after_pushes(self, seed):
+        ddg = layered_random_ddg(nodes=16 + seed, layers=4, seed=seed)
+        session = ReductionSession(ddg, INT, prune_redundant=False)
+        for _ in range(3):
+            sat = session.saturation()
+            cold = greedy_saturation(session.ddg.copy(), INT)
+            assert sat.rs == cold.rs
+            assert sat.saturating_values == cold.saturating_values
+            assert sat.killing_function == cold.killing_function
+            pushed = _push_one(session, sat)
+            if not pushed:
+                break
+
+    def test_proto_edge_cache_survives_pushes(self):
+        ddg = layered_random_ddg(nodes=18, layers=4, seed=2)
+        session = ReductionSession(ddg, INT)
+        sat = session.saturation()
+        values = list(sat.saturating_values)
+        if len(values) >= 2:
+            u, v = values[0], values[1]
+            first = session.legal_serialization(u, v)
+            if first:
+                session.push(first)
+                # The static skeleton is cached; the filter re-applies.
+                again = session.legal_serialization(u, v)
+                assert again == []
+
+
+def _push_one(session, sat):
+    for u in sat.saturating_values:
+        for v in sat.saturating_values:
+            if u == v:
+                continue
+            edges = session.legal_serialization(u, v)
+            if edges:
+                session.push(edges)
+                return True
+    return False
+
+
+class TestUndoSafety:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pop_restores_exact_analysis_state(self, seed):
+        ddg = layered_random_ddg(nodes=15 + seed, layers=4, seed=seed)
+        session = ReductionSession(ddg, INT)
+        fingerprints = [session.analysis_fingerprint()]
+        pushes = 0
+        for _ in range(3):
+            sat = session.saturation()
+            if not _push_one(session, sat):
+                break
+            pushes += 1
+            fingerprints.append(session.analysis_fingerprint())
+        assert pushes >= 1, "population must admit at least one serialization"
+        for expected in reversed(fingerprints[:-1]):
+            session.pop()
+            assert session.analysis_fingerprint() == expected
+
+    def test_pop_restores_version_and_graph(self):
+        ddg = figure2_dag()
+        session = ReductionSession(ddg, INT)
+        edges_before = sorted(
+            (e.src, e.dst, e.latency, e.kind.value) for e in session.ddg.edges()
+        )
+        sat = session.saturation()
+        assert _push_one(session, sat)
+        session.pop()
+        edges_after = sorted(
+            (e.src, e.dst, e.latency, e.kind.value) for e in session.ddg.edges()
+        )
+        assert edges_before == edges_after
+
+    def test_pop_on_empty_session_raises(self):
+        session = ReductionSession(figure2_dag(), INT)
+        with pytest.raises(IndexError):
+            session.pop()
+
+    def test_latency_upgrade_is_undone(self):
+        """Replacing a weaker duplicate serial arc must be reversible."""
+
+        ddg = figure2_dag()
+        session = ReductionSession(ddg, INT, prune_redundant=False)
+        g = session.ddg
+        nodes = g.nodes()
+        src, dst = nodes[0], None
+        desc = context_for(g).descendants_map(include_self=False)
+        for cand in nodes[1:]:
+            if cand in desc[src]:
+                dst = cand
+                break
+        assert dst is not None
+        g.add_serial_edge(src, dst, latency=0)
+        before = session.analysis_fingerprint()
+        from repro.core.graph import Edge
+        from repro.core.types import DependenceKind
+
+        session.push([Edge(src, dst, 5, DependenceKind.SERIAL, None)])
+        assert g.best_latency_between(src, dst) >= 5
+        session.pop()
+        assert session.analysis_fingerprint() == before
+
+
+class TestIncrementalAnalysisExactness:
+    """The patched analyses must equal from-scratch recomputation."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_descendants_and_lp_rows_after_pushes(self, seed):
+        from repro.analysis import graphalgo
+        from repro.core.graph import Edge
+        from repro.core.types import DependenceKind
+
+        ddg = layered_random_ddg(nodes=14 + seed, layers=4, seed=seed)
+        analysis = IncrementalAnalysis(ddg)
+        # Warm a few rows before mutating.
+        nodes = ddg.nodes()
+        for node in nodes[:5]:
+            analysis.lp_row(node)
+        desc = context_for(ddg).descendants_map(include_self=False)
+        candidates = [
+            (u, v)
+            for u in nodes
+            for v in nodes
+            if u != v and u not in desc[v] and v not in desc[u]
+        ]
+        pushed = 0
+        for u, v in candidates[:3]:
+            edge = Edge(u, v, 1 + pushed, DependenceKind.SERIAL, None)
+            if not analysis.remains_acyclic_with_edges([edge]):
+                continue
+            analysis.push([edge])
+            pushed += 1
+            fresh_desc = graphalgo.descendants_map(ddg, include_self=True)
+            assert analysis.descendants_incl() == fresh_desc
+            for node in nodes[:5]:
+                assert analysis.lp_row(node) == graphalgo.longest_paths_from(ddg, node)
+        assert pushed >= 1
+
+    def test_injected_context_analyses_match(self):
+        ddg = layered_random_ddg(nodes=16, layers=4, seed=9)
+        session = ReductionSession(ddg, INT)
+        sat = session.saturation()
+        assert _push_one(session, sat)
+        from repro.analysis import graphalgo
+
+        g = session.ddg
+        ctx = context_for(g)
+        assert ctx.descendants_map(include_self=True) == graphalgo.descendants_map(
+            g, include_self=True
+        )
+        assert ctx.descendants_map(include_self=False) == graphalgo.descendants_map(
+            g, include_self=False
+        )
