@@ -15,8 +15,19 @@ checks:
 
 * the reports are byte-identical (wall time and the engine tag aside);
 * the incremental engine actually took its warm paths;
-* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 3.0
-  locally; CI's smoke mode only guards against regressions).
+* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 4.0
+  locally -- raised from PR 2's 3.0 floor by the persistent antichain
+  engine, measured 6.2x aggregate / 8.4x on ``scale-sb200``; CI's smoke
+  mode only guards against regressions).
+
+``test_antichain_engine_speedup`` isolates PR 3's kernel claim: it records
+the DV-row trace of every Greedy-k candidate during a real reduction of the
+largest superblock and replays it through both antichain paths -- the
+historic from-scratch pipeline (Kahn + closure rebuild + full
+Hopcroft--Karp per call) and the persistent engine (running closure +
+matching repair).  The replay asserts byte-identical antichains on every
+call and a kernel speedup of ``REPRO_ANTICHAIN_SPEEDUP_MIN`` (default 2.0
+locally on ``scale-sb200``; CI smoke mode guards at 1.0).
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the population to seconds for CI, and the
 report ends with a profile of the incremental engine on the largest
@@ -32,6 +43,7 @@ import os
 import pstats
 import time
 
+from repro.analysis.antichain import PersistentAntichain, antichain_indices_from_rows
 from repro.codes import kernel_suite, scale_suite
 from repro.experiments import section
 from repro.reduction import reduce_saturation_heuristic
@@ -155,11 +167,120 @@ def test_incremental_session_speedup():
     # Local default states the claim; CI smoke mode overrides to a
     # regression guard (shared runners time noisily and the smoke suite is
     # too small for the asymptotic win to show).
-    default_min = "1.0" if _SMOKE else "3.0"
+    default_min = "1.0" if _SMOKE else "4.0"
     minimum = float(os.environ.get("REPRO_REDUCTION_SPEEDUP_MIN", default_min))
     assert speedup >= minimum, (
         f"expected the incremental session to be >= {minimum:.1f}x faster, "
         f"got {speedup:.2f}x"
+    )
+
+
+def _record_dv_traces(ddg, rtype, budget):
+    """Drive the real heuristic loop and capture every candidate's DV rows.
+
+    Returns ``{label: [segment, ...]}`` where each segment is the list of
+    DV-row snapshots between two rebuilds of that candidate's killing
+    function -- exactly the monotone growth the persistent engine consumed
+    during the run (one snapshot per Greedy-k evaluation).  The run goes
+    through ``_HeuristicLoop``/``_SessionDriver`` themselves (observed via
+    ``on_iteration``), not a re-implementation, so the recorded workload is
+    the one ``reduce_saturation_heuristic`` really executes.
+    """
+
+    from repro.reduction.heuristic import _HeuristicLoop, _SessionDriver
+    from repro.reduction.serialization import SerializationMode
+
+    driver = _SessionDriver(ddg.copy(), rtype, SerializationMode.OFFSETS, True)
+    session = driver.session
+    traces = {}
+
+    def snapshot(_sat=None):
+        for label, state in session._saturation._candidate_states.items():
+            if state.analysis is None or state._engine is None:
+                continue
+            segments = traces.setdefault(label, [])
+            if not segments or segments[-1][0] != state.rebuild_count:
+                segments.append((state.rebuild_count, []))
+            segments[-1][1].append(state.dv_rows())
+
+    loop = _HeuristicLoop(driver, max_iterations=2000)
+    loop.on_iteration = snapshot
+    initial = driver.saturation()
+    snapshot()
+    loop.run_to(initial, budget)
+    return {label: [seg for _, seg in segments] for label, segments in traces.items()}
+
+
+def test_antichain_engine_speedup():
+    """The persistent antichain engine vs the per-call from-scratch kernel.
+
+    Replays the recorded DV-row traces of a real reduction run through both
+    paths, asserting byte-identical antichains on every call and the PR-3
+    kernel claim: >= 2x on the 200-operation superblock locally
+    (``REPRO_ANTICHAIN_SPEEDUP_MIN`` overrides; CI smoke mode guards at 1x
+    on its small tier).
+    """
+
+    if _SMOKE:
+        # The smallest superblock tier: candidate killing functions are
+        # stable across iterations there (long monotone segments), which is
+        # the regime the persistent engine targets -- layered toy DAGs
+        # rebuild nearly every call and only measure seeding overhead.
+        entry = scale_suite(sizes=(), superblock_sizes=(120,))[0]
+    else:
+        entry = scale_suite(sizes=(), superblock_sizes=(200,))[0]
+    rtype = entry.ddg.register_types()[0]
+    traces = _record_dv_traces(entry.ddg, rtype, 8)
+    assert traces, "the reduction run must exercise candidate DV states"
+
+    t_scratch = 0.0
+    t_persistent = 0.0
+    calls = 0
+    segment_count = 0
+    for label, segments in sorted(traces.items()):
+        for segment in segments:
+            segment_count += 1
+            calls += len(segment)
+
+            start = time.perf_counter()
+            reference = [antichain_indices_from_rows(rows) for rows in segment]
+            t_scratch += time.perf_counter() - start
+
+            # The persistent replay pays for everything the real engine
+            # pays for: seeding, per-arc closure maintenance, frame
+            # bookkeeping, matching repair and extraction.
+            start = time.perf_counter()
+            engine = PersistentAntichain(len(segment[0]), rows=segment[0])
+            replayed = [list(engine.antichain_indices())]
+            previous = segment[0]
+            for rows in segment[1:]:
+                engine.push()
+                for i, (new, old) in enumerate(zip(rows, previous)):
+                    added = new & ~old
+                    while added:
+                        low = added & -added
+                        engine.insert(i, low.bit_length() - 1)
+                        added ^= low
+                replayed.append(list(engine.antichain_indices()))
+                previous = rows
+            t_persistent += time.perf_counter() - start
+
+            assert replayed == reference, (
+                f"persistent antichains diverge from the from-scratch path "
+                f"on candidate {label!r}"
+            )
+
+    speedup = t_scratch / t_persistent if t_persistent else float("inf")
+    print(section(f"antichain kernel: persistent engine vs from-scratch ({entry.name})"))
+    print(f"{'calls':>6} {'segments':>9} {'scratch':>9} {'persistent':>11} {'speedup':>8}")
+    print(f"{calls:>6} {segment_count:>9} {t_scratch:>8.2f}s {t_persistent:>10.2f}s "
+          f"{speedup:>7.2f}x")
+
+    default_min = "1.0" if _SMOKE else "2.0"
+    minimum = float(os.environ.get("REPRO_ANTICHAIN_SPEEDUP_MIN", default_min))
+    assert speedup >= minimum, (
+        f"expected the persistent antichain engine to be >= {minimum:.1f}x "
+        f"faster than the from-scratch kernel, got {speedup:.2f}x"
     )
 
 

@@ -36,7 +36,7 @@ from ..analysis.context import context_for
 from ..codes.suite import SuiteEntry, benchmark_suite
 from ..core.machine import ProcessorModel, superscalar
 from ..errors import SolverError, SpillRequiredError
-from ..reduction import reduce_saturation_exact, reduce_saturation_heuristic
+from ..reduction import reduce_saturation_exact, reduce_saturation_multi_budget
 from ..saturation import greedy_saturation
 from .engine import BatchEngine
 from .reporting import format_breakdown, format_table
@@ -188,11 +188,22 @@ def _reduction_instance(
     spills = 0
     for rtype in entry.ddg.register_types():
         base = greedy_saturation(entry.ddg, rtype)
-        for budget in _budgets_for(base.rs, budgets):
-            # Each timed section starts with cold analysis caches so the
-            # reported exact/heuristic timings keep the seed semantics (the
-            # methods pay for their own analyses) instead of reflecting
-            # whatever an earlier call happened to warm.
+        budget_list = _budgets_for(base.rs, budgets)
+        if not budget_list:
+            continue
+        # Warm start across budgets: the serializations applied for budget R
+        # are a prefix of those applied for any R' < R, so one session
+        # serves the whole budget ladder (descending) instead of rebuilding
+        # per budget.  Per-budget results are byte-identical to standalone
+        # runs, and each result's wall_time is the cumulative cost down to
+        # its budget (what a standalone run would have paid), keeping the
+        # reported exact-vs-heuristic timings row-comparable.  The ladder is
+        # built lazily on the first exact success so instances where the
+        # optimal method only spills or times out never pay for it.
+        heuristic_results = None
+        for budget in budget_list:
+            # The exact method starts from a cold cache so its timing keeps
+            # the seed semantics (it pays for its own analyses).
             context_for(entry.ddg).invalidate()
             t0 = time.perf_counter()
             try:
@@ -208,12 +219,13 @@ def _reduction_instance(
                 # instances it could prove optimal.
                 continue
             t_exact = time.perf_counter() - t0
-            context_for(entry.ddg).invalidate()
-            t0 = time.perf_counter()
-            heuristic = reduce_saturation_heuristic(
-                entry.ddg, rtype, budget, machine=machine
-            )
-            t_heur = time.perf_counter() - t0
+            if heuristic_results is None:
+                context_for(entry.ddg).invalidate()
+                heuristic_results = reduce_saturation_multi_budget(
+                    entry.ddg, rtype, budget_list, machine=machine
+                )
+            heuristic = heuristic_results[budget]
+            t_heur = heuristic.wall_time
             comparisons.append(
                 ReductionComparison(
                     name=entry.name,

@@ -27,7 +27,7 @@ from .exact_ilp import (
     serialize_from_schedule,
     solve_src,
 )
-from .heuristic import reduce_saturation_heuristic
+from .heuristic import reduce_saturation_heuristic, reduce_saturation_multi_budget
 from .minimization import minimize_register_need
 from .result import ReductionResult
 from .session import ReductionSession
@@ -49,6 +49,7 @@ __all__ = [
     "ReductionSession",
     "reduce_saturation",
     "reduce_saturation_heuristic",
+    "reduce_saturation_multi_budget",
     "reduce_saturation_exact",
     "minimize_register_need",
     "solve_src",

@@ -35,6 +35,12 @@ Both engines share the candidate enumeration, the reachability pre-filter
 counted instead of evaluated) and the tie-breaking, and produce identical
 :class:`~repro.reduction.result.ReductionResult` reports up to wall time and
 the ``details["engine"]`` tag.
+
+:func:`reduce_saturation_multi_budget` amortises one engine across a whole
+budget ladder: the loop's trajectory does not depend on the budget (only
+its stopping point does), so the serializations for budget ``R`` are a
+prefix of those for any ``R' < R`` and a descending walk reports every
+budget for the price of the smallest one.
 """
 
 from __future__ import annotations
@@ -59,7 +65,7 @@ from .serialization import (
     serialization_implied,
 )
 
-__all__ = ["reduce_saturation_heuristic"]
+__all__ = ["reduce_saturation_heuristic", "reduce_saturation_multi_budget"]
 
 
 def _candidate_pairs(saturating: Sequence[Value]) -> List[Tuple[Value, Value]]:
@@ -171,6 +177,116 @@ class _SessionDriver:
         }
 
 
+class _HeuristicLoop:
+    """The shared iteration engine behind the single- and multi-budget drivers.
+
+    Holds the cumulative trajectory state (iterations, added arcs, implied
+    skips, the stuck flag); :meth:`run_to` continues the loop until the
+    given budget is met.  The trajectory never reads the budget except in
+    the loop condition, so driving to budget ``R`` and then continuing to
+    ``R' < R`` walks exactly the iterations a from-scratch run to ``R'``
+    would -- which is what makes the multi-budget warm start byte-identical
+    per budget.  Once stuck, re-entry is a no-op: a stuck scan found no
+    applicable pair, and re-scanning the identical state for a smaller
+    budget would find none either (the scan does not depend on the budget).
+    """
+
+    def __init__(self, driver, max_iterations: int) -> None:
+        self.driver = driver
+        self.max_iterations = max_iterations
+        self.iterations = 0
+        self.stuck = False
+        self.skipped_implied = 0
+        self.added: List[Edge] = []
+        #: Optional ``(SaturationResult) -> None`` observer fired after every
+        #: applied serialization's re-saturation.  Purely observational (the
+        #: kernel benchmark records DV-row traces through it, so it measures
+        #: the real loop instead of a re-implementation); must not mutate.
+        self.on_iteration = None
+
+    def run_to(self, current_rs: SaturationResult, registers: int) -> SaturationResult:
+        driver = self.driver
+        while (
+            not self.stuck
+            and current_rs.rs > registers
+            and self.iterations < self.max_iterations
+        ):
+            self.iterations += 1
+            base_cp = driver.critical_path()
+            best: Optional[Tuple[Tuple[int, int], object]] = None
+            saturating = list(current_rs.saturating_values)
+            for before, after in _candidate_pairs(saturating):
+                # Pairs the transitive closure already orders cannot change
+                # the saturation; `consider` skips them before paying for
+                # legality + scoring, and defers arc construction to the
+                # winner.
+                considered = driver.consider(before, after, base_cp)
+                if considered is _IMPLIED:
+                    self.skipped_implied += 1
+                    continue
+                if considered is None:
+                    continue
+                cp_increase, arc_count, payload = considered
+                key = (cp_increase, arc_count)
+                if best is None or key < best[0]:
+                    best = (key, payload)
+            if best is None:
+                self.stuck = True
+                break
+            self.added.extend(driver.apply(best[1]))
+            current_rs = driver.saturation()
+            if self.on_iteration is not None:
+                self.on_iteration(current_rs)
+        return current_rs
+
+
+def _make_driver(ddg, rtype, mode, prune_redundant, engine):
+    if engine == "incremental":
+        return _SessionDriver(ddg, rtype, mode, prune_redundant)
+    if engine == "from-scratch":
+        return _FromScratchDriver(ddg, rtype, mode, prune_redundant)
+    raise ValueError(
+        f"unknown reduction engine {engine!r}; expected incremental/from-scratch"
+    )
+
+
+def _build_result(
+    rtype: RegisterType,
+    registers: int,
+    initial: SaturationResult,
+    current_rs: SaturationResult,
+    driver,
+    loop: _HeuristicLoop,
+    original_cp: int,
+    mode: str,
+    wall_time: float,
+    graph: Optional[DDG] = None,
+) -> ReductionResult:
+    return ReductionResult(
+        rtype=rtype,
+        target=registers,
+        success=current_rs.rs <= registers,
+        original_rs=initial.rs,
+        achieved_rs=current_rs.rs,
+        extended_ddg=graph if graph is not None else driver.graph(),
+        added_edges=tuple(loop.added),
+        critical_path_before=original_cp,
+        critical_path_after=driver.bottom_critical_path(),
+        method="value-serialization",
+        optimal=False,
+        wall_time=wall_time,
+        details={
+            "iterations": loop.iterations,
+            "stuck": loop.stuck,
+            "pruned_redundant_arcs": len(driver.pruned),
+            "serialization_mode": mode,
+            "initial_saturating_values": [str(v) for v in initial.saturating_values],
+            "skipped_implied_pairs": loop.skipped_implied,
+            **driver.engine_details(),
+        },
+    )
+
+
 def reduce_saturation_heuristic(
     ddg: DDG,
     rtype: RegisterType | str,
@@ -238,72 +354,81 @@ def reduce_saturation_heuristic(
     if max_iterations is None:
         max_iterations = max(4, len(ddg.values(rtype)) ** 2)
 
-    if engine == "incremental":
-        driver = _SessionDriver(ddg, rtype, mode, prune_redundant)
-    elif engine == "from-scratch":
-        driver = _FromScratchDriver(ddg, rtype, mode, prune_redundant)
-    else:
-        raise ValueError(
-            f"unknown reduction engine {engine!r}; expected incremental/from-scratch"
-        )
+    driver = _make_driver(ddg, rtype, mode, prune_redundant, engine)
+    loop = _HeuristicLoop(driver, max_iterations)
+    current_rs = loop.run_to(initial, registers)
 
-    current_rs: SaturationResult = initial
-    added: List[Edge] = []
-    iterations = 0
-    stuck = False
-    skipped_implied = 0
-    while current_rs.rs > registers and iterations < max_iterations:
-        iterations += 1
-        base_cp = driver.critical_path()
-        best: Optional[Tuple[Tuple[int, int], object]] = None
-        saturating = list(current_rs.saturating_values)
-        for before, after in _candidate_pairs(saturating):
-            # Pairs the transitive closure already orders cannot change the
-            # saturation; `consider` skips them before paying for legality +
-            # scoring, and defers arc construction to the winner.
-            considered = driver.consider(before, after, base_cp)
-            if considered is _IMPLIED:
-                skipped_implied += 1
-                continue
-            if considered is None:
-                continue
-            cp_increase, arc_count, payload = considered
-            key = (cp_increase, arc_count)
-            if best is None or key < best[0]:
-                best = (key, payload)
-        if best is None:
-            stuck = True
-            break
-        added.extend(driver.apply(best[1]))
-        current_rs = driver.saturation()
-
-    success = current_rs.rs <= registers
-    if not success and raise_on_failure:
+    if current_rs.rs > registers and raise_on_failure:
         raise SpillRequiredError(
             f"cannot reduce the {rtype.name} register saturation of {ddg.name!r} "
             f"below {registers} (reached {current_rs.rs}); spill code is unavoidable"
         )
 
-    return ReductionResult(
-        rtype=rtype,
-        target=registers,
-        success=success,
-        original_rs=initial.rs,
-        achieved_rs=current_rs.rs,
-        extended_ddg=driver.graph(),
-        added_edges=tuple(added),
-        critical_path_before=original_cp,
-        critical_path_after=driver.bottom_critical_path(),
-        method="value-serialization",
-        optimal=False,
-        wall_time=time.perf_counter() - start,
-        details={
-            "iterations": iterations,
-            "stuck": stuck,
-            "pruned_redundant_arcs": len(driver.pruned),
-            "serialization_mode": mode,
-            "initial_saturating_values": [str(v) for v in initial.saturating_values],
-            "skipped_implied_pairs": skipped_implied,
-            **driver.engine_details(),
-        },
+    return _build_result(
+        rtype, registers, initial, current_rs, driver, loop,
+        original_cp, mode, time.perf_counter() - start,
     )
+
+
+def reduce_saturation_multi_budget(
+    ddg: DDG,
+    rtype: RegisterType | str,
+    budgets,
+    machine: Optional[ProcessorModel] = None,
+    mode: Optional[str] = None,
+    max_iterations: Optional[int] = None,
+    prune_redundant: bool = True,
+    engine: str = "incremental",
+) -> Dict[int, ReductionResult]:
+    """Reduce the saturation below several budgets with one warm session.
+
+    A suite driver evaluating the same graph at budgets ``R = 4, 8, 16``
+    historically rebuilt the whole reduction per budget, even though the
+    serializations applied for budget ``R`` are a *prefix* of those applied
+    for any ``R' < R`` (the loop's trajectory does not depend on the budget,
+    only its stopping point does).  This driver walks the budgets in
+    descending order and lets the engine continue where the previous budget
+    stopped, so the total work equals one run to the *smallest* budget plus
+    a graph snapshot per budget.
+
+    Returns ``{budget: ReductionResult}``.  Every per-budget result is
+    byte-identical (wall time and engine statistics aside) to a standalone
+    ``reduce_saturation_heuristic(ddg, rtype, budget, ...)`` run -- the
+    equivalence tests pin that.  ``wall_time`` carries the *cumulative* time
+    since the ladder started, i.e. what a standalone run to that budget
+    would have cost on this warm process (setup + every iteration down to
+    the budget); the warm-start saving is the difference between the sum of
+    the per-budget wall times and the ladder's actual elapsed time.
+    """
+
+    start = time.perf_counter()
+    rtype = canonical_type(rtype)
+    budget_list = sorted(set(budgets), reverse=True)
+    if not budget_list:
+        return {}
+    if budget_list[-1] < 1:
+        raise ValueError("every register budget must be at least 1")
+    if mode is None:
+        mode = SerializationMode.OFFSETS
+
+    ctx = context_for(ddg)
+    original_cp = ctx.bottom().critical_path_length()
+    initial = greedy_saturation(ddg, rtype, ctx=ctx)
+    if max_iterations is None:
+        max_iterations = max(4, len(ddg.values(rtype)) ** 2)
+
+    driver = _make_driver(ddg, rtype, mode, prune_redundant, engine)
+    loop = _HeuristicLoop(driver, max_iterations)
+
+    current_rs: SaturationResult = initial
+    results: Dict[int, ReductionResult] = {}
+    for budget in budget_list:
+        current_rs = loop.run_to(current_rs, budget)
+        # Snapshot the working graph: the session keeps extending it for the
+        # smaller budgets, but each reported result must stand alone.
+        results[budget] = _build_result(
+            rtype, budget, initial, current_rs, driver, loop,
+            original_cp, mode, time.perf_counter() - start,
+            graph=driver.graph().copy(),
+        )
+    return results

@@ -312,6 +312,24 @@ class ReductionSession:
         self._saturation.pop()
         self.stats["pops"] += 1
 
+    def reset_to_depth(self, depth: int) -> None:
+        """Pop frames until exactly *depth* pushes remain applied.
+
+        The session for one register budget is a prefix of the session for
+        any smaller budget, so a multi-budget driver can rewind to a shared
+        prefix (or all the way to the pristine working graph with
+        ``reset_to_depth(0)``) instead of rebuilding the session; the
+        warm analyses and the candidate DV states are restored exactly,
+        frame by frame.
+        """
+
+        if depth < 0 or depth > self.depth:
+            raise IndexError(
+                f"cannot reset to depth {depth}: {self.depth} frames are applied"
+            )
+        while self.depth > depth:
+            self.pop()
+
     def saturation(self) -> SaturationResult:
         """Greedy-k of the working graph, warm-started from the last iteration."""
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, MutableMapping, Optional, Set, Tuple
 
 from ..analysis import graphalgo
+from ..analysis.antichain import PersistentAntichain, antichain_indices_from_rows
 from ..analysis.context import context_for
 from ..core.graph import DDG, Edge
 from ..core.types import RegisterType, Value, canonical_type
@@ -289,6 +290,22 @@ class IncrementalAnalysis:
 _GENERIC_FALLBACK = object()
 
 
+@dataclass
+class _CandidateFrame:
+    """Undo record of one sync() on a candidate DV state.
+
+    One frame is appended per :meth:`_CandidateDVState.sync` call (even for
+    early-returned no-ops) so the frame stack stays in lock-step with the
+    owning :class:`IncrementalSaturation`'s push depth; popping replays it.
+    """
+
+    was_cyclic: bool
+    analysis_pushed: bool = False
+    engine_pushed: bool = False
+    #: The pre-push killer-bits dict (copy-on-write), or None when untouched.
+    bits: Optional[Dict[str, int]] = None
+
+
 class _CandidateDVState:
     """The warm disjoint-value DAG of one candidate killing function.
 
@@ -302,6 +319,15 @@ class _CandidateDVState:
     relation as one bitset per killer; a push only rechecks the (killer,
     value) pairs whose longest-path entry actually moved (reported by the
     mirror's patch log).
+
+    The monotone growth is exactly what the persistent antichain engine
+    (:class:`~repro.analysis.antichain.PersistentAntichain`) needs: the DV
+    closure is kept as a running family of bitsets and the maximum matching
+    survives every sync, so the per-iteration antichain costs an incremental
+    repair instead of a from-scratch Kahn + closure + Hopcroft--Karp solve.
+    Each sync opens an undo frame (killed-mirror push, engine push,
+    copy-on-write killer bits), so the state also survives the owning
+    session's pop instead of being discarded and rebuilt.
 
     The DV condition ``lp(k(u), v) >= delta_r(k(u)) - delta_w(v)`` depends
     on ``u`` only through its killer, so values sharing a killer share the
@@ -326,6 +352,10 @@ class _CandidateDVState:
         self._killer_read: Dict[str, int] = {}
         self._killer_bits: Dict[str, int] = {}
         self._killer_of: List[Optional[str]] = []
+        self._killer_values: Dict[str, List[int]] = {}
+        self._engine: Optional[PersistentAntichain] = None
+        self._sync_frames: List[_CandidateFrame] = []
+        self.rebuild_count = 0
 
     def matches(self, kf, pk: Mapping[Value, List[str]]) -> bool:
         """Whether the stored state is exactly this killing function's.
@@ -348,6 +378,8 @@ class _CandidateDVState:
     def rebuild(self, bottom_ddg: DDG, kf, pk: Mapping[Value, List[str]]) -> None:
         from .pkill import killed_graph  # local: avoids import cycle
 
+        self.rebuild_count += 1
+        self._sync_frames = []
         self.kf_mapping = dict(kf.mapping)
         self._pk_ref = pk
         self._pk_lists = {value: pk.get(value, []) for value in kf.mapping}
@@ -358,6 +390,7 @@ class _CandidateDVState:
             # killing function itself changes.
             self.cyclic = True
             self.analysis = None
+            self._engine = None
             self.valid = True
             return
         self.cyclic = False
@@ -365,6 +398,10 @@ class _CandidateDVState:
         # arcs' target row instead of a descendant map.
         self.analysis = IncrementalAnalysis(killed, track_reachability=False)
         self._killer_of = [kf.mapping.get(v) for v in self._values]
+        self._killer_values = {}
+        for i, killer in enumerate(self._killer_of):
+            if killer is not None:
+                self._killer_values.setdefault(killer, []).append(i)
         killers = sorted(set(kf.mapping.values()))
         self._killer_read = {k: killed.operation(k).delta_r for k in killers}
         bits: Dict[str, int] = {}
@@ -380,11 +417,27 @@ class _CandidateDVState:
                     mask |= 1 << j
             bits[killer] = mask
         self._killer_bits = bits
+        self._engine = PersistentAntichain(len(self._values), rows=self.dv_rows())
         self.valid = True
 
-    def sync(self, edges) -> None:
-        """Mirror a push of the base graph; recheck only the moved lp entries."""
+    def dv_rows(self) -> List[int]:
+        """The current DV relation as per-value successor bitsets."""
 
+        return [
+            0 if killer is None else self._killer_bits[killer] & ~(1 << i)
+            for i, killer in enumerate(self._killer_of)
+        ]
+
+    def sync(self, edges) -> None:
+        """Mirror a push of the base graph; recheck only the moved lp entries.
+
+        Every call -- including the early-returned no-ops -- appends one
+        undo frame, keeping the frame stack aligned with the owning
+        session's push depth so :meth:`pop_frame` can replay it exactly.
+        """
+
+        frame = _CandidateFrame(was_cyclic=self.cyclic)
+        self._sync_frames.append(frame)
         if not self.valid or self.cyclic or self.analysis is None:
             return
         targets = {e.dst for e in edges}
@@ -400,78 +453,95 @@ class _CandidateDVState:
         elif not self.analysis.remains_acyclic_with_edges(edges):
             self.cyclic = True
             return
-        frame = self.analysis.push(edges)
-        for src, targets in frame.lp_changes.items():
+        analysis_frame = self.analysis.push(edges)
+        frame.analysis_pushed = True
+        engine = self._engine
+        if engine is not None:
+            engine.push()
+            frame.engine_pushed = True
+        bits_changed = False
+        for src, moved in analysis_frame.lp_changes.items():
             read = self._killer_read.get(src)
             if read is None:
                 continue
             row = self.analysis.lp_row(src)
             mask = self._killer_bits[src]
-            for y in targets:
+            for y in moved:
                 j = self._node_index.get(y)
                 if j is not None and row[y] >= read - self._delta_w[j]:
                     mask |= 1 << j
+            added = mask & ~self._killer_bits[src]
+            if not added:
+                continue
+            if not bits_changed:
+                # Copy-on-write: the pre-push dict goes to the frame, every
+                # untouched mask stays shared with the previous iteration.
+                frame.bits = self._killer_bits
+                self._killer_bits = dict(self._killer_bits)
+                bits_changed = True
             self._killer_bits[src] = mask
+            if engine is not None:
+                # New DV arcs i -> j for every value i killed by src and
+                # every newly reached value j; the engine patches its
+                # running closure and marks the matching for repair.
+                for i in self._killer_values.get(src, ()):
+                    bits = added & ~(1 << i)
+                    while bits:
+                        low = bits & -bits
+                        engine.insert(i, low.bit_length() - 1)
+                        bits ^= low
+
+    def pop_frame(self) -> bool:
+        """Undo the most recent :meth:`sync`; False when none remain.
+
+        A False return means the state was rebuilt *after* the push being
+        undone, so its killed mirror has the popped arcs baked in rather
+        than framed -- the caller must discard the state.
+        """
+
+        if not self._sync_frames:
+            return False
+        frame = self._sync_frames.pop()
+        if frame.engine_pushed and self._engine is not None:
+            self._engine.pop()
+        if frame.analysis_pushed and self.analysis is not None:
+            self.analysis.pop()
+        if frame.bits is not None:
+            self._killer_bits = frame.bits
+        self.cyclic = frame.was_cyclic
+        return True
 
     def antichain(self):
         """The maximum DV antichain, or the generic-fallback sentinel.
 
         Identical to ``saturating_antichain`` on the same killed graph: the
-        bitset closure has the same content as the pair-set closure and the
-        split-graph adjacency is produced in the same (ascending) order, so
-        the matching and the Koenig extraction walk the same path.
+        persistent engine's running closure has the same content as the
+        pair-set closure, and the Koenig sets it extracts are invariant
+        across maximum matchings (see
+        :class:`~repro.analysis.antichain.PersistentAntichain`), so the
+        repaired matching reports the same antichain the from-scratch
+        matching would.
         """
 
-        values = self._values
-        n = len(values)
-        rows = [
-            0 if killer is None else self._killer_bits[killer] & ~(1 << i)
-            for i, killer in enumerate(self._killer_of)
-        ]
-        # Kahn over the bit relation; a cycle (possible only in exotic
-        # negative-latency configurations) defers to the generic path.
-        indeg = [0] * n
-        for mask in rows:
-            while mask:
-                low = mask & -mask
-                indeg[low.bit_length() - 1] += 1
-                mask ^= low
-        stack = [i for i in range(n) if indeg[i] == 0]
-        order: List[int] = []
-        while stack:
-            i = stack.pop()
-            order.append(i)
-            mask = rows[i]
-            while mask:
-                low = mask & -mask
-                j = low.bit_length() - 1
-                mask ^= low
-                indeg[j] -= 1
-                if indeg[j] == 0:
-                    stack.append(j)
-        if len(order) != n:
+        engine = self._engine
+        if engine is None:
             return _GENERIC_FALLBACK
-        closure = [0] * n
-        for i in reversed(order):
-            acc = 0
-            mask = rows[i]
-            while mask:
-                low = mask & -mask
-                acc |= low | closure[low.bit_length() - 1]
-                mask ^= low
-            closure[i] = acc
-        adj: List[List[int]] = []
-        for i in range(n):
-            mask = closure[i]
-            row_list: List[int] = []
-            while mask:
-                low = mask & -mask
-                row_list.append(low.bit_length() - 1)
-                mask ^= low
-            adj.append(row_list)
-        from ..analysis.antichain import maximum_antichain_from_adjacency
+        indices = engine.antichain_indices()
+        if indices is None:
+            # A cycle in the DV relation (possible only in exotic
+            # negative-latency configurations) defers to the generic path.
+            return _GENERIC_FALLBACK
+        values = self._values
+        return [values[i] for i in indices]
 
-        return maximum_antichain_from_adjacency(list(values), adj)
+    def antichain_from_scratch(self):
+        """The PR-2 per-call pipeline on the current DV rows (reference path)."""
+
+        indices = antichain_indices_from_rows(self.dv_rows())
+        if indices is None:
+            return _GENERIC_FALLBACK
+        values = self._values
+        return [values[i] for i in indices]
 
 
 class IncrementalSaturation:
@@ -619,9 +689,17 @@ class IncrementalSaturation:
             self._mirror.pop()
         self._pk = pk  # type: ignore[assignment]
         self._kdv = kdv  # type: ignore[assignment]
-        # Candidate DV states are forward-only (their killed mirrors grew
-        # with the popped arcs); they are rebuilt lazily on the next query.
-        self._candidate_states.clear()
+        # Candidate DV states replay their per-push undo frame (killed
+        # mirror, killer bits, persistent antichain engine); a state rebuilt
+        # deeper than the restored depth has the popped arcs baked into its
+        # killed graph and must be discarded instead.
+        dead = [
+            label
+            for label, state in self._candidate_states.items()
+            if not state.pop_frame()
+        ]
+        for label in dead:
+            del self._candidate_states[label]
         self._inject()
 
     def _inject(self) -> None:

@@ -22,7 +22,11 @@ from repro.codes.generator import (
 from repro.codes.kernels import figure2_dag
 from repro.codes.suite import kernel_suite
 from repro.core.types import INT, Value
-from repro.reduction import ReductionSession, reduce_saturation_heuristic
+from repro.reduction import (
+    ReductionSession,
+    reduce_saturation_heuristic,
+    reduce_saturation_multi_budget,
+)
 from repro.saturation import greedy_saturation
 from repro.saturation.incremental import IncrementalAnalysis
 
@@ -120,6 +124,135 @@ class TestEngineEquivalence:
             scratch.details["skipped_implied_pairs"]
             == incremental.details["skipped_implied_pairs"]
         )
+
+
+class TestMultiBudgetWarmStart:
+    """One warm session across a descending budget ladder == standalone runs."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_per_budget_results_identical_to_standalone(self, seed):
+        ddg = layered_random_ddg(nodes=16 + seed, layers=4, seed=seed)
+        budgets = (2, 3, 5)
+        for engine in ("incremental", "from-scratch"):
+            multi = reduce_saturation_multi_budget(
+                ddg.copy(), INT, budgets, engine=engine
+            )
+            assert sorted(multi) == sorted(budgets)
+            for budget in budgets:
+                solo = reduce_saturation_heuristic(
+                    ddg.copy(), INT, budget, engine=engine
+                )
+                assert _normalize(multi[budget]) == _normalize(solo), (engine, budget)
+
+    def test_superblock_budget_ladder(self):
+        ddg = random_superblock(operations=60, seed=3)
+        multi = reduce_saturation_multi_budget(ddg.copy(), INT, (4, 6, 8))
+        for budget in (4, 6, 8):
+            solo = reduce_saturation_heuristic(ddg.copy(), INT, budget)
+            assert _normalize(multi[budget]) == _normalize(solo), budget
+        # The smaller the budget, the longer its serialization prefix.
+        assert len(multi[8].added_edges) <= len(multi[6].added_edges)
+        assert len(multi[6].added_edges) <= len(multi[4].added_edges)
+        # ... and the larger budget's arcs are literally a prefix.
+        assert multi[4].added_edges[: len(multi[8].added_edges)] == multi[8].added_edges
+
+    def test_trivial_and_empty_budgets(self):
+        ddg = figure2_dag()
+        rs = greedy_saturation(ddg, INT).rs
+        multi = reduce_saturation_multi_budget(ddg, INT, (rs + 2,))
+        assert multi[rs + 2].success
+        assert multi[rs + 2].added_edges == ()
+        assert reduce_saturation_multi_budget(ddg, INT, ()) == {}
+        with pytest.raises(ValueError):
+            reduce_saturation_multi_budget(ddg, INT, (0, 3))
+
+
+class TestResetToDepth:
+    def test_reset_rewinds_to_exact_prefix_state(self):
+        ddg = layered_random_ddg(nodes=18, layers=4, seed=4)
+        session = ReductionSession(ddg, INT)
+        fingerprints = [session.analysis_fingerprint()]
+        for _ in range(3):
+            sat = session.saturation()
+            if not _push_one(session, sat):
+                break
+            fingerprints.append(session.analysis_fingerprint())
+        assert session.depth >= 2, "population must admit two serializations"
+        session.reset_to_depth(1)
+        assert session.depth == 1
+        assert session.analysis_fingerprint() == fingerprints[1]
+        session.reset_to_depth(0)
+        assert session.depth == 0
+        assert session.analysis_fingerprint() == fingerprints[0]
+
+    def test_reset_to_current_depth_is_noop(self):
+        session = ReductionSession(figure2_dag(), INT)
+        session.reset_to_depth(0)
+        assert session.depth == 0
+
+    def test_reset_beyond_depth_raises(self):
+        session = ReductionSession(figure2_dag(), INT)
+        with pytest.raises(IndexError):
+            session.reset_to_depth(1)
+        with pytest.raises(IndexError):
+            session.reset_to_depth(-1)
+
+
+class TestCandidateStatePersistence:
+    """Candidate DV states survive pop via their undo frames (no rebuild storm)."""
+
+    def test_pop_reuses_states_when_killing_functions_survive(self):
+        """A push leaving every killing function intact must not cost rebuilds.
+
+        A dominated duplicate of an existing arc is a no-op push: the graph,
+        the potential killers and every candidate killing function are
+        unchanged, so both the post-push and the post-pop saturation must
+        run entirely on reused (frame-replayed) DV states.  A push that
+        *does* change killing functions rebuilds states mid-stack, and those
+        are correctly discarded on pop instead (see
+        ``test_push_pop_push_matches_cold_runs``).
+        """
+
+        from repro.core.graph import Edge
+        from repro.core.types import DependenceKind
+
+        ddg = layered_random_ddg(nodes=20, layers=4, seed=6)
+        session = ReductionSession(ddg, INT)
+        sat = session.saturation()
+        existing = next(e for e in session.ddg.edges() if e.latency >= 0)
+        noop = Edge(existing.src, existing.dst, 0, DependenceKind.SERIAL, None)
+        session.push([noop])
+        session.saturation()
+        rebuilds_before_pop = session.saturation_stats["dv_rebuilds"]
+        assert session.saturation_stats["dv_reuses"] > 0
+        session.pop()
+        sat_after = session.saturation()
+        assert sat_after.rs == sat.rs
+        assert tuple(sat_after.saturating_values) == tuple(sat.saturating_values)
+        stats = session.saturation_stats
+        assert stats["dv_rebuilds"] == rebuilds_before_pop
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_push_pop_push_matches_cold_runs(self, seed):
+        ddg = layered_random_ddg(nodes=17 + seed, layers=4, seed=30 + seed)
+        session = ReductionSession(ddg, INT, prune_redundant=False)
+        for _ in range(2):
+            sat = session.saturation()
+            cold = greedy_saturation(session.ddg.copy(), INT)
+            assert sat.rs == cold.rs
+            assert sat.saturating_values == cold.saturating_values
+            if not _push_one(session, sat):
+                break
+            session.pop()
+            # Warm state after the undo must equal a cold run on the graph...
+            sat_back = session.saturation()
+            cold_back = greedy_saturation(session.ddg.copy(), INT)
+            assert sat_back.rs == cold_back.rs
+            assert sat_back.saturating_values == cold_back.saturating_values
+            assert sat_back.killing_function == cold_back.killing_function
+            # ... and pushing again continues from the replayed frames.
+            if not _push_one(session, sat_back):
+                break
 
 
 class TestSessionSaturation:
