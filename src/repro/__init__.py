@@ -17,7 +17,8 @@ data dependence graphs (DAGs/DDGs):
   instruction scheduler and register allocator of Figure 1, plus the
   schedule-then-spill baseline;
 * :mod:`repro.ilp` -- the integer-programming substrate (modelling layer,
-  logical-operator linearization, HiGHS and branch-and-bound backends);
+  logical-operator linearization, and a pluggable backend registry with
+  HiGHS and branch-and-bound built in);
 * :mod:`repro.codes` -- a small IR, dependence analysis, hand-written
   benchmark kernels and random DDG generators;
 * :mod:`repro.experiments` -- the harness regenerating every quantitative

@@ -48,6 +48,8 @@ T = TypeVar("T")
 #: Attribute under which the shared context rides on its DDG.
 _ATTACH = "_analysis_context"
 _CACHING_ENABLED = True
+#: Internal miss marker (stored values may legitimately be falsy).
+_MISS = object()
 
 
 def _caching_on() -> bool:
@@ -161,7 +163,24 @@ class AnalysisContext:
             self._cache.clear()
             self._version = self._ddg.version
 
-    def memo(self, key: object, factory: Callable[[], T]) -> T:
+    def graph_hash(self) -> str:
+        """Canonical content hash of the graph (see :mod:`repro.analysis.store`).
+
+        Memoized like every other analysis, so the serialization walk is
+        paid once per graph revision; it keys the persistent memo tier and
+        the cross-run result store.
+        """
+
+        from .store import canonical_graph_hash
+
+        return self.memo("graph_hash", lambda: canonical_graph_hash(self._ddg))
+
+    def memo(
+        self,
+        key: object,
+        factory: Callable[[], T],
+        persist: Optional[Tuple[str, object]] = None,
+    ) -> T:
         """Memoize an arbitrary derived analysis under *key*.
 
         This is how higher layers (potential killers, Greedy-k results, ...)
@@ -169,6 +188,16 @@ class AnalysisContext:
         to know about them.  The key must capture every input other than the
         graph itself; invalidation follows the graph revision like the
         built-in queries.
+
+        ``persist`` opts the entry into the cross-run tier: a ``(query,
+        params)`` pair naming the result in the ambient
+        :class:`~repro.analysis.store.ResultStore` under the graph's
+        canonical content hash.  On an in-memory miss the store is consulted
+        before *factory* runs, and a computed value is written back.  With
+        no ambient store (the default -- see
+        :func:`repro.analysis.store.active_store`) the argument is inert,
+        so callers can pass it unconditionally.  Persisted values must be
+        picklable and deterministic functions of (graph content, params).
         """
 
         if not self._enabled:
@@ -180,7 +209,20 @@ class AnalysisContext:
             if key in self._cache:
                 return self._cache[key]  # type: ignore[return-value]
             observed = self._version
-        value = factory()
+        value = _MISS
+        store = None
+        if persist is not None:
+            from .store import active_store
+
+            store = active_store()
+        if store is not None:
+            query, params = persist
+            ghash = self.graph_hash()
+            value = store.get(ghash, query, params, default=_MISS)
+        if value is _MISS:
+            value = factory()
+            if store is not None:
+                store.put(ghash, query, params, value)
         with self._lock:
             # Cache only if the revision the factory observed is still
             # current -- comparing against a resynchronised self._version

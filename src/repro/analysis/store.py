@@ -1,0 +1,374 @@
+"""Persistent cross-run result store keyed by canonical DDG content hashes.
+
+The :class:`~repro.analysis.context.AnalysisContext` memoizes analyses
+within a process; this module extends that memoization *across* processes
+and runs, so repeated suite runs and CI stop re-solving identical instances
+(the ROADMAP's "cross-run result caching" item).  Two pieces:
+
+* :func:`canonical_graph_hash` -- a content hash of a DDG covering exactly
+  what the analyses can observe (operations with their latencies, offsets
+  and register types; arcs with their kinds, types and latencies) and
+  nothing they cannot (node/arc insertion order, the graph's display name,
+  Python object identity).  Two graphs with the same hash are
+  indistinguishable to every algorithm in this package, so a result
+  computed for one is valid for the other.
+* :class:`ResultStore` -- a disk-backed map ``(graph_hash, query, params)
+  -> result`` under a versioned schema directory with atomic writes
+  (write-to-temp + ``os.replace``), safe for concurrent writers.  Values
+  are pickled; a corrupt or mismatching entry reads as a miss, never as an
+  error.
+
+The store is **opt-in**: :func:`active_store` returns ``None`` unless the
+``REPRO_STORE_DIR`` environment variable names a directory (or
+``REPRO_STORE=1`` selects the default ``~/.cache/repro-touati04``), or a
+store was activated programmatically with :func:`set_active_store` /
+:func:`store_active`.  Clearing the cache is ``rm -rf`` of the directory or
+:meth:`ResultStore.clear`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..core.graph import DDG
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "StoreStats",
+    "ResultStore",
+    "canonical_graph_hash",
+    "default_store_dir",
+    "active_store",
+    "set_active_store",
+    "reset_active_store",
+    "store_active",
+]
+
+#: Bump when the on-disk payload layout (or anything that invalidates every
+#: stored result, like the pickle format of the result objects) changes;
+#: entries live under ``<root>/v<version>/`` so old schemas never collide.
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variables controlling the ambient store.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+STORE_ENABLE_ENV = "REPRO_STORE"
+
+_MISS = object()
+
+
+# --------------------------------------------------------------------------- #
+# Canonical graph hashing
+# --------------------------------------------------------------------------- #
+def _graph_tokens(ddg: DDG) -> Iterator[str]:
+    """Canonical serialization of everything the analyses can observe.
+
+    Operations and edges are emitted in sorted order, so the hash is
+    invariant under insertion order and under rebuilds that preserve the
+    labels; the graph's display name is deliberately excluded (renaming a
+    graph cannot change any analysis result).
+    """
+
+    yield "ddg-v1"
+    for name in sorted(ddg.nodes()):
+        op = ddg.operation(name)
+        defs = ",".join(sorted(t.name for t in op.defs))
+        yield (
+            f"op|{name}|{defs}|{op.latency}|{op.delta_r}|{op.delta_w}"
+            f"|{op.opcode}|{op.fu_class}"
+        )
+    edges = sorted(
+        (
+            e.src,
+            e.dst,
+            e.kind.value,
+            "" if e.rtype is None else e.rtype.name,
+            e.latency,
+        )
+        for e in ddg.edges()
+    )
+    for src, dst, kind, rtype, latency in edges:
+        yield f"edge|{src}|{dst}|{kind}|{rtype}|{latency}"
+
+
+def canonical_graph_hash(ddg: DDG) -> str:
+    """Content hash of *ddg*: equal for semantically identical graphs.
+
+    The hash covers structure, latencies, offsets and register types; it is
+    independent of node/arc insertion order and of the graph's name.  Any
+    semantic mutation -- a latency, a register type, an extra arc -- changes
+    it (property-tested in ``tests/test_result_store.py``).
+    """
+
+    digest = hashlib.sha256()
+    for token in _graph_tokens(ddg):
+        digest.update(token.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _canonical_params(params: object) -> object:
+    """Normalize a params structure so equal queries key identically.
+
+    Mappings are sorted by the repr of their canonicalized keys (insertion
+    order must not matter), sequences keep their order, sets are sorted.
+    Leaves rely on ``repr``, which is deterministic for the value objects
+    used as parameters here (str/int/float/bool/None, RegisterType, frozen
+    dataclasses).
+    """
+
+    if isinstance(params, dict):
+        items = [(_canonical_params(k), _canonical_params(v)) for k, v in params.items()]
+        return ("dict",) + tuple(sorted(items, key=repr))
+    if isinstance(params, (set, frozenset)):
+        return ("set",) + tuple(sorted((_canonical_params(v) for v in params), key=repr))
+    if isinstance(params, (list, tuple)):
+        return ("seq",) + tuple(_canonical_params(v) for v in params)
+    return repr(params)
+
+
+# --------------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------------- #
+@dataclass
+class StoreStats:
+    """In-process counters of one :class:`ResultStore` (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from disk (0.0 when none happened)."""
+
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "errors": self.errors,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultStore:
+    """Disk-backed ``(graph_hash, query, params) -> result`` map.
+
+    Entries are pickle files under ``<root>/v<schema>/<kk>/<key>.pkl`` where
+    ``key`` is the SHA-256 of the lookup triple and ``kk`` its first two hex
+    digits (keeps directories small).  Writes go to a temp file in the final
+    directory followed by :func:`os.replace`, so concurrent writers (the
+    batch engine's process policy, parallel CI shards) can only ever race
+    towards identical complete entries, never corrupt one.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._schema_dir = self.root / f"v{STORE_SCHEMA_VERSION}"
+        self._lock = threading.Lock()
+        self.stats = StoreStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------ #
+    # Keying
+    # ------------------------------------------------------------------ #
+    def _key(self, graph_hash: str, query: str, params: object) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"{graph_hash}|{query}|".encode("utf-8"))
+        digest.update(repr(_canonical_params(params)).encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, graph_hash: str, query: str, params: object = None) -> Path:
+        key = self._key(graph_hash, query, params)
+        return self._schema_dir / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        graph_hash: str,
+        query: str,
+        params: object = None,
+        default: object = None,
+    ) -> object:
+        """The stored result, or *default* on a miss (corrupt entry = miss)."""
+
+        path = self.path_for(graph_hash, query, params)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return default
+        except Exception:
+            # Corrupt/partial/unreadable entry: drop it and report a miss.
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return default
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != STORE_SCHEMA_VERSION
+            or payload.get("graph_hash") != graph_hash
+            or payload.get("query") != query
+        ):
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
+            return default
+        with self._lock:
+            self.stats.hits += 1
+        return payload["value"]
+
+    def put(self, graph_hash: str, query: str, params: object, value: object) -> Path:
+        """Atomically store *value*; concurrent identical puts are harmless."""
+
+        path = self.path_for(graph_hash, query, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "graph_hash": graph_hash,
+            "query": query,
+            "value": value,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.puts += 1
+        return path
+
+    def memo(self, graph_hash: str, query: str, params: object, factory):
+        """``get`` falling back to ``factory()`` + ``put`` (the common shape)."""
+
+        value = self.get(graph_hash, query, params, default=_MISS)
+        if value is not _MISS:
+            return value
+        value = factory()
+        self.put(graph_hash, query, params, value)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def entry_count(self) -> int:
+        if not self._schema_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._schema_dir.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns how many."""
+
+        removed = 0
+        if self._schema_dir.is_dir():
+            for entry in self._schema_dir.glob("*/*.pkl"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# --------------------------------------------------------------------------- #
+# Ambient store (opt-in)
+# --------------------------------------------------------------------------- #
+#: Explicit override set by set_active_store/store_active; the sentinel
+#: means "not overridden, consult the environment".
+_ACTIVE_OVERRIDE: object = _MISS
+_ENV_STORES: Dict[str, ResultStore] = {}
+_AMBIENT_LOCK = threading.Lock()
+
+
+def default_store_dir() -> Path:
+    """``$REPRO_STORE_DIR``, else ``$XDG_CACHE_HOME``/``~/.cache`` + ``repro-touati04``."""
+
+    explicit = os.environ.get(STORE_DIR_ENV, "").strip()
+    if explicit:
+        return Path(explicit)
+    cache_home = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "repro-touati04"
+
+
+def active_store() -> Optional[ResultStore]:
+    """The ambient :class:`ResultStore`, or ``None`` when persistence is off.
+
+    Explicit :func:`set_active_store` / :func:`store_active` wins; otherwise
+    ``REPRO_STORE_DIR=<dir>`` (or ``REPRO_STORE=1`` for the default cache
+    location) switches persistence on.  Store objects are shared per
+    directory so hit/miss statistics aggregate per process.
+    """
+
+    if _ACTIVE_OVERRIDE is not _MISS:
+        return _ACTIVE_OVERRIDE  # type: ignore[return-value]
+    explicit = os.environ.get(STORE_DIR_ENV, "").strip()
+    enabled = os.environ.get(STORE_ENABLE_ENV, "").strip().lower()
+    if not explicit and enabled not in ("1", "on", "true", "yes"):
+        return None
+    directory = str(default_store_dir())
+    with _AMBIENT_LOCK:
+        store = _ENV_STORES.get(directory)
+        if store is None:
+            store = _ENV_STORES.setdefault(directory, ResultStore(directory))
+    return store
+
+
+def set_active_store(store: Optional[ResultStore]) -> None:
+    """Force the ambient store (``None`` disables persistence regardless of env)."""
+
+    global _ACTIVE_OVERRIDE
+    _ACTIVE_OVERRIDE = store
+
+
+def reset_active_store() -> None:
+    """Drop any explicit override; the environment decides again."""
+
+    global _ACTIVE_OVERRIDE
+    _ACTIVE_OVERRIDE = _MISS
+
+
+@contextmanager
+def store_active(store: Union[None, str, Path, ResultStore]):
+    """Activate *store* (a :class:`ResultStore` or a directory) for a block."""
+
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    global _ACTIVE_OVERRIDE
+    previous = _ACTIVE_OVERRIDE
+    _ACTIVE_OVERRIDE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE_OVERRIDE = previous

@@ -22,6 +22,20 @@ The ``process`` policy requires the task function and its payload to be
 picklable -- every experiment worker in this package is a module-level
 function over dataclass payloads for that reason.  Thread workers share the
 :mod:`repro.analysis.context` caches; process workers each build their own.
+
+Two optional hooks extend the contract without changing it:
+
+* ``plan`` rewrites every item deterministically in the dispatching process
+  before any worker sees it -- this is how experiments assign per-instance
+  solver backends (a declared, ordered property of the instance, following
+  Bobpp's reproducible-partitioning discipline, instead of a choice made
+  inside a racing worker);
+* ``store``/``query``/``key_fn`` consult the cross-run
+  :class:`~repro.analysis.store.ResultStore` *before* dispatching: items
+  whose result is already stored never reach a worker, misses are computed
+  as usual (same policy, same ordering) and written back.  Results still
+  come back in input order, so a warm report is byte-identical to a cold
+  one.
 """
 
 from __future__ import annotations
@@ -29,7 +43,9 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
+
+from ..analysis.store import ResultStore
 
 __all__ = ["BatchEngine", "run_batch", "POLICIES"]
 
@@ -38,6 +54,9 @@ R = TypeVar("R")
 
 #: Recognised execution policies, in increasing order of isolation.
 POLICIES = ("serial", "thread", "process")
+
+#: Internal miss marker for store lookups (results may legitimately be falsy).
+_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -98,16 +117,50 @@ class BatchEngine:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        plan: Optional[Callable[[T], T]] = None,
+        store: Optional[ResultStore] = None,
+        query: str = "",
+        key_fn: Optional[Callable[[T], Tuple[str, object]]] = None,
+    ) -> List[R]:
         """Apply *fn* to every item, returning results in input order.
 
         ``Executor.map`` already yields results in submission order, which
         is what makes parallel reports reproduce the serial ones exactly;
         the engine only adds the policy dispatch and the single-item
         fast path.
+
+        ``plan`` (optional) deterministically rewrites each item before
+        dispatch -- e.g. resolving a ``backend="auto"`` field to a concrete
+        solver backend in the dispatching process.  With ``store`` +
+        ``query`` + ``key_fn`` (mapping an item to its ``(graph_hash,
+        params)`` store key) the cross-run result store is consulted first:
+        stored items are never dispatched, computed ones are written back.
         """
 
-        work: Sequence[T] = list(items)
+        work: List[T] = list(items)
+        if plan is not None:
+            work = [plan(item) for item in work]
+        if store is not None and key_fn is not None:
+            keys = [key_fn(item) for item in work]
+            results: List[object] = [
+                store.get(ghash, query, params, default=_MISS)
+                for ghash, params in keys
+            ]
+            miss = [i for i, r in enumerate(results) if r is _MISS]
+            computed = self._dispatch(fn, [work[i] for i in miss])
+            for i, value in zip(miss, computed):
+                ghash, params = keys[i]
+                store.put(ghash, query, params, value)
+                results[i] = value
+            return results  # type: ignore[return-value]
+        return self._dispatch(fn, work)
+
+    def _dispatch(self, fn: Callable[[T], R], work: Sequence[T]) -> List[R]:
         if self.policy == "serial" or len(work) <= 1:
             return [fn(item) for item in work]
         pool_cls = ThreadPoolExecutor if self.policy == "thread" else ProcessPoolExecutor
@@ -119,7 +172,8 @@ def run_batch(
     fn: Callable[[T], R],
     items: Iterable[T],
     engine: Union[None, str, BatchEngine] = None,
+    **map_kwargs,
 ) -> List[R]:
     """One-shot convenience wrapper: ``BatchEngine.coerce(engine).map(fn, items)``."""
 
-    return BatchEngine.coerce(engine).map(fn, items)
+    return BatchEngine.coerce(engine).map(fn, items, **map_kwargs)

@@ -13,10 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..analysis.context import context_for
 from ..analysis.stats import fit_power_law
+from ..analysis.store import active_store
 from ..codes.generator import layered_random_ddg
 from ..core.graph import DDG
 from ..core.types import INT
+from ..ilp import default_registry
+from ..ilp.registry import backend_request_token
 from ..saturation.exact_ilp import build_rs_program
 from .engine import BatchEngine
 from .reporting import format_table
@@ -26,7 +30,7 @@ __all__ = ["ModelSizePoint", "ModelSizeReport", "run_ilp_size_study"]
 
 @dataclass(frozen=True)
 class ModelSizePoint:
-    """Model size for one DAG."""
+    """Model size for one DAG (plus the backend the auto policy would route it to)."""
 
     name: str
     nodes: int
@@ -34,6 +38,7 @@ class ModelSizePoint:
     variables: int
     binaries: int
     constraints: int
+    backend: str = ""
 
     @property
     def size_bound(self) -> int:
@@ -72,11 +77,13 @@ class ModelSizeReport:
 
     def to_table(self) -> str:
         rows = [
-            (p.name, p.nodes, p.edges, p.variables, p.binaries, p.constraints, p.size_bound)
+            (p.name, p.nodes, p.edges, p.variables, p.binaries, p.constraints,
+             p.size_bound, p.backend)
             for p in self.points
         ]
         return format_table(
-            ["instance", "n", "m", "variables", "binaries", "constraints", "m+n^2"],
+            ["instance", "n", "m", "variables", "binaries", "constraints", "m+n^2",
+             "backend"],
             rows,
             title="Register-saturation intLP size (paper claim: O(n^2) vars, O(m+n^2) constraints)",
         )
@@ -100,6 +107,9 @@ def _size_instance(task: Tuple[DDG, bool]) -> ModelSizePoint:
         variables=stats["variables"],
         binaries=stats["binary_variables"],
         constraints=stats["constraints"],
+        # What the registry's auto policy would route this model to --
+        # the size study doubles as a record of the declared partitioning.
+        backend=default_registry().choose(program).name,
     )
 
 
@@ -132,6 +142,15 @@ def run_ilp_size_study(
     if extra_graphs:
         graphs.extend(extra_graphs)
     points = BatchEngine.coerce(engine).map(
-        _size_instance, [(ddg, prune) for ddg in graphs]
+        _size_instance,
+        [(ddg, prune) for ddg in graphs],
+        store=active_store(),
+        query="experiment.ilp_size",
+        # The cached point embeds the auto policy's backend column, which
+        # the REPRO_ILP_BACKEND override changes -- key it in.
+        key_fn=lambda task: (
+            context_for(task[0]).graph_hash(),
+            {"prune": task[1], "backend": backend_request_token("auto")},
+        ),
     )
     return ModelSizeReport(list(points))

@@ -33,7 +33,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.context import context_for
+from ..analysis.store import active_store
 from ..codes.suite import SuiteEntry, benchmark_suite
+from ..ilp.registry import backend_request_token
 from ..core.machine import ProcessorModel, superscalar
 from ..errors import SolverError, SpillRequiredError
 from ..reduction import reduce_saturation_exact, reduce_saturation_multi_budget
@@ -273,7 +275,25 @@ def run_reduction_optimality(
         for entry in suite
         if entry.size <= max_nodes
     ]
-    results = BatchEngine.coerce(engine).map(_reduction_instance, tasks)
+    results = BatchEngine.coerce(engine).map(
+        _reduction_instance,
+        tasks,
+        store=active_store(),
+        query="experiment.reduction_optimality",
+        key_fn=lambda task: (
+            context_for(task[0].ddg).graph_hash(),
+            {
+                "name": task[0].name,
+                "budgets": None if task[1] is None else tuple(task[1]),
+                "machine": repr(task[2]),
+                "time_limit": task[3],
+                # The workers solve with backend="auto"; fold the env
+                # override in so a forced backend never reads results
+                # another backend produced.
+                "backend": backend_request_token("auto"),
+            },
+        ),
+    )
     comparisons: List[ReductionComparison] = []
     spills = 0
     for instance_comparisons, instance_spills in results:

@@ -14,7 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.context import context_for
+from ..analysis.store import active_store
 from ..codes.suite import SuiteEntry, benchmark_suite
+from ..ilp import default_registry
 from ..saturation import exact_saturation, greedy_saturation
 from .engine import BatchEngine
 from .reporting import format_table
@@ -35,6 +37,7 @@ class RSComparison:
     rs_heuristic: int
     time_exact: float
     time_heuristic: float
+    backend: str = ""
 
     @property
     def error(self) -> int:
@@ -106,11 +109,13 @@ class RSOptimalityReport:
                 c.error,
                 f"{c.time_exact:.3f}",
                 f"{c.time_heuristic:.4f}",
+                c.backend,
             )
             for c in self.comparisons
         ]
         return format_table(
-            ["benchmark", "type", "n", "RS", "RS*", "error", "t_exact(s)", "t_heur(s)"],
+            ["benchmark", "type", "n", "RS", "RS*", "error", "t_exact(s)",
+             "t_heur(s)", "backend"],
             rows,
             title="Register saturation: heuristic (RS*) vs optimal (RS)",
         )
@@ -127,16 +132,18 @@ class RSOptimalityReport:
 
 
 def _rs_instance(
-    task: Tuple[SuiteEntry, Optional[float]]
+    task: Tuple[SuiteEntry, Optional[float], str]
 ) -> List[RSComparison]:
     """Module-level batch worker (picklable for the process policy).
 
     One task covers *all* register types of one DAG: the instances share the
     DAG's analysis context, and the cold-cache timing protocol below is only
     meaningful when no other worker invalidates that context concurrently.
+    The solver backend arrives pre-resolved by the dispatcher's plan hook --
+    a worker never makes that choice.
     """
 
-    entry, time_limit = task
+    entry, time_limit, backend = task
     comparisons: List[RSComparison] = []
     for rtype in entry.ddg.register_types():
         # Cold caches per timed section: each method pays for its own
@@ -148,7 +155,7 @@ def _rs_instance(
         t_heur = time.perf_counter() - t0
         context_for(entry.ddg).invalidate()
         t0 = time.perf_counter()
-        exact = exact_saturation(entry.ddg, rtype, time_limit=time_limit)
+        exact = exact_saturation(entry.ddg, rtype, backend=backend, time_limit=time_limit)
         t_exact = time.perf_counter() - t0
         comparisons.append(
             RSComparison(
@@ -161,9 +168,27 @@ def _rs_instance(
                 rs_heuristic=heuristic.rs,
                 time_exact=t_exact,
                 time_heuristic=t_heur,
+                backend=str(exact.details.get("backend", backend)) or backend,
             )
         )
     return comparisons
+
+
+def _plan_rs_task(
+    task: Tuple[SuiteEntry, Optional[float], str]
+) -> Tuple[SuiteEntry, Optional[float], str]:
+    """Resolve ``backend="auto"`` per instance, in the dispatching process.
+
+    The Section-3 model has O(n^2) integer variables, so the registry's
+    size policy is consulted with that estimate; the resolved name becomes
+    a declared property of the task (deterministic whatever the engine
+    policy or worker timing).
+    """
+
+    entry, time_limit, backend = task
+    if backend == "auto":
+        backend = default_registry().choose_by_size(entry.ddg.n ** 2).name
+    return (entry, time_limit, backend)
 
 
 def run_rs_optimality(
@@ -171,17 +196,32 @@ def run_rs_optimality(
     max_nodes: int = 26,
     time_limit: Optional[float] = 120.0,
     engine: Union[None, str, BatchEngine] = None,
+    backend: str = "auto",
 ) -> RSOptimalityReport:
     """Run the RS-optimality experiment over *suite* (the default population).
 
     ``max_nodes`` keeps the intLP instances tractable; the paper likewise
     notes that reaching optimality "was very time consuming (from many
     seconds to many days)" and restricts itself to loop bodies.  *engine*
-    fans the instances out over batch workers with deterministic ordering.
+    fans the instances out over batch workers with deterministic ordering;
+    ``backend`` routes the exact solves ("auto" = per-instance registry
+    choice, resolved before dispatch and recorded per comparison).  With
+    the ambient result store active, instances solved by a previous run are
+    answered from disk without dispatching a worker.
     """
 
     if suite is None:
         suite = benchmark_suite(max_size=max_nodes)
-    tasks = [(entry, time_limit) for entry in suite if entry.size <= max_nodes]
-    per_entry = BatchEngine.coerce(engine).map(_rs_instance, tasks)
+    tasks = [(entry, time_limit, backend) for entry in suite if entry.size <= max_nodes]
+    per_entry = BatchEngine.coerce(engine).map(
+        _rs_instance,
+        tasks,
+        plan=_plan_rs_task,
+        store=active_store(),
+        query="experiment.rs_optimality",
+        key_fn=lambda task: (
+            context_for(task[0].ddg).graph_hash(),
+            {"name": task[0].name, "time_limit": task[1], "backend": task[2]},
+        ),
+    )
     return RSOptimalityReport([c for chunk in per_entry for c in chunk])

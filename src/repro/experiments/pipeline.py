@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..allocation import linear_scan_allocate, schedule_with_spilling
 from ..analysis.context import context_for
+from ..analysis.store import active_store
 from ..codes.suite import SuiteEntry, benchmark_suite
 from ..core.machine import ProcessorModel, superscalar
 from ..core.types import RegisterType
@@ -214,5 +215,23 @@ def run_pipeline_experiment(
         if entry.size <= max_nodes
         for rtype in entry.ddg.register_types()
     ]
-    outcomes = BatchEngine.coerce(engine).map(_pipeline_instance, tasks)
+    outcomes = BatchEngine.coerce(engine).map(
+        _pipeline_instance,
+        tasks,
+        store=active_store(),
+        query="experiment.pipeline",
+        # The machine is a frozen dataclass whose repr covers every field
+        # the flow can observe, so it keys the cache alongside the graph
+        # content and the instance name the report rows carry.
+        key_fn=lambda task: (
+            context_for(task[0].ddg).graph_hash(),
+            {
+                "name": task[0].name,
+                "rtype": task[1].name,
+                "machine": repr(task[2]),
+                "registers": task[3],
+                "compare_baseline": task[4],
+            },
+        ),
+    )
     return PipelineReport(list(outcomes))

@@ -3,21 +3,25 @@
 The paper expresses both the register-saturation computation (Section 3) and
 its reduction (Section 4) as integer linear programs whose logical operators
 are linearized with extra binary variables.  This package provides the
-modelling objects those formulations are written against and two exact
-backends:
+modelling objects those formulations are written against and a pluggable
+:class:`~repro.ilp.registry.BackendRegistry` of exact backends:
 
-* :func:`solve` / :func:`repro.ilp.scipy_backend.solve_with_scipy` -- the
-  default backend, HiGHS through :func:`scipy.optimize.milp` (standing in
-  for the paper's CPLEX);
-* :func:`repro.ilp.branch_bound.solve_with_branch_and_bound` -- a small
-  pure-Python branch-and-bound used for cross-checks and ablations.
+* ``"scipy"`` (aliases ``"highs"``, ``"scipy-highs"``) -- HiGHS through
+  :func:`scipy.optimize.milp` (standing in for the paper's CPLEX);
+* ``"branch-bound"`` -- a small pure-Python branch-and-bound used for
+  cross-checks and ablations;
+* ``backend="auto"`` (the default) -- a deterministic policy picking by
+  model size and declared capabilities, overridable with the
+  ``REPRO_ILP_BACKEND`` environment variable; plug-ins join with
+  :func:`repro.ilp.registry.register_backend`.
+
+:func:`solve` routes exclusively through the default registry.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import InfeasibleError, SolverError, UnboundedError
 from .branch_bound import solve_with_branch_and_bound
 from .expressions import LinExpr, as_expr
 from .logical import (
@@ -29,6 +33,13 @@ from .logical import (
     expression_bounds,
 )
 from .model import Constraint, IntegerProgram, VariableDef, VariableKind
+from .registry import (
+    Backend,
+    BackendCapabilities,
+    BackendRegistry,
+    default_registry,
+    register_backend,
+)
 from .scipy_backend import solve_with_scipy
 from .solution import Solution, SolveStatus
 
@@ -41,6 +52,11 @@ __all__ = [
     "VariableKind",
     "Solution",
     "SolveStatus",
+    "Backend",
+    "BackendCapabilities",
+    "BackendRegistry",
+    "default_registry",
+    "register_backend",
     "solve",
     "solve_with_scipy",
     "solve_with_branch_and_bound",
@@ -52,38 +68,28 @@ __all__ = [
     "expression_bounds",
 ]
 
-#: Registry of available exact backends.
-BACKENDS = {
-    "scipy": solve_with_scipy,
-    "highs": solve_with_scipy,
-    "branch-bound": solve_with_branch_and_bound,
-}
-
 
 def solve(
     program: IntegerProgram,
-    backend: str = "scipy",
+    backend: str = "auto",
     time_limit: Optional[float] = None,
+    mip_rel_gap: float = 0.0,
     require_feasible: bool = False,
 ) -> Solution:
-    """Solve an integer program with the named backend.
+    """Solve an integer program through the default backend registry.
 
-    When ``require_feasible`` is set an infeasible or unbounded outcome
-    raises :class:`~repro.errors.InfeasibleError` /
+    ``backend`` is a registered name or ``"auto"`` (deterministic choice by
+    model size/capability, overridable via ``REPRO_ILP_BACKEND``).  When
+    ``require_feasible`` is set an infeasible or unbounded outcome raises
+    :class:`~repro.errors.InfeasibleError` /
     :class:`~repro.errors.UnboundedError` instead of returning a status-only
     solution, which keeps the call sites of the saturation code short.
     """
 
-    try:
-        solver = BACKENDS[backend]
-    except KeyError as exc:
-        raise SolverError(
-            f"unknown intLP backend {backend!r}; available: {sorted(BACKENDS)}"
-        ) from exc
-    solution = solver(program, time_limit=time_limit)
-    if require_feasible:
-        if solution.status is SolveStatus.INFEASIBLE:
-            raise InfeasibleError(f"model {program.name!r} is infeasible")
-        if solution.status is SolveStatus.UNBOUNDED:
-            raise UnboundedError(f"model {program.name!r} is unbounded")
-    return solution
+    return default_registry().solve(
+        program,
+        backend=backend,
+        time_limit=time_limit,
+        mip_rel_gap=mip_rel_gap,
+        require_feasible=require_feasible,
+    )

@@ -76,13 +76,19 @@ def _solve_relaxation(c, A, cl, cu, lower, upper):
 def solve_with_branch_and_bound(
     program: IntegerProgram,
     time_limit: Optional[float] = 60.0,
+    mip_rel_gap: float = 0.0,
     max_nodes: int = 50_000,
 ) -> Solution:
     """Solve *program* exactly by LP-based branch and bound.
 
     Best-bound search; branching variable = most fractional integer variable.
-    Returns the same :class:`~repro.ilp.solution.Solution` structure as the
-    SciPy backend.
+    Returns the same :class:`~repro.ilp.solution.Solution` structure -- and
+    the same :class:`~repro.ilp.solution.SolveStatus` vocabulary -- as the
+    SciPy backend: TIME_LIMIT means wall clock ran out, ITERATION_LIMIT
+    means the node cap was hit, and ``mip_gap`` carries the achieved
+    relative gap against the best open bound either way.  ``mip_rel_gap``
+    prunes, like HiGHS, any subtree that cannot improve the incumbent by
+    more than the requested relative gap (0 = prove optimality).
     """
 
     names, c, A, cl, cu, lb, ub, integrality = program.to_arrays()
@@ -96,32 +102,44 @@ def solve_with_branch_and_bound(
     incumbent_value = math.inf
     explored = 0
 
+    def cutoff() -> float:
+        # Subtrees bounded above this value cannot beat the incumbent by
+        # more than the requested relative gap.
+        return incumbent_value - max(1e-9, mip_rel_gap * abs(incumbent_value))
+
     root = _solve_relaxation(c, A, cl, cu, lb, ub)
     if root.status == 2:
-        return Solution(SolveStatus.INFEASIBLE, solver="branch-bound", wall_time=time.perf_counter() - start)
+        return Solution(SolveStatus.INFEASIBLE, solver="branch-bound",
+                        wall_time=time.perf_counter() - start, termination="infeasible")
     if root.status == 3:
-        return Solution(SolveStatus.UNBOUNDED, solver="branch-bound", wall_time=time.perf_counter() - start)
+        return Solution(SolveStatus.UNBOUNDED, solver="branch-bound",
+                        wall_time=time.perf_counter() - start, termination="unbounded")
     if root.status != 0:
         raise SolverError(f"LP relaxation failed: {root.message}")
 
     heap: List[_Node] = [_Node(root.fun, next(counter), lb.copy(), ub.copy(), 0)]
-    timed_out = False
+    #: Tightest bound among subtrees pruned by the gap rule; together with
+    #: the still-open nodes it proves the final gap.
+    pruned_bound = math.inf
+    stop_reason = ""
 
     while heap:
         if time_limit is not None and time.perf_counter() - start > time_limit:
-            timed_out = True
+            stop_reason = "time limit reached"
             break
         if explored >= max_nodes:
-            timed_out = True
+            stop_reason = "node limit reached"
             break
         node = heapq.heappop(heap)
-        if node.bound >= incumbent_value - 1e-9:
+        if node.bound >= cutoff():
+            pruned_bound = min(pruned_bound, node.bound)
             continue
         res = _solve_relaxation(c, A, cl, cu, node.lower, node.upper)
         explored += 1
         if res.status != 0:
             continue  # infeasible or failed subproblem: prune
-        if res.fun >= incumbent_value - 1e-9:
+        if res.fun >= cutoff():
+            pruned_bound = min(pruned_bound, res.fun)
             continue
         x = res.x
         # Find the most fractional integer variable.
@@ -149,15 +167,32 @@ def solve_with_branch_and_bound(
             heapq.heappush(heap, _Node(res.fun, next(counter), lo_u, up_u, node.depth + 1))
 
     elapsed = time.perf_counter() - start
+    limit_status = (
+        SolveStatus.ITERATION_LIMIT
+        if stop_reason == "node limit reached"
+        else SolveStatus.TIME_LIMIT
+    )
     if incumbent is None:
-        status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.INFEASIBLE
-        return Solution(status, solver="branch-bound", wall_time=elapsed, nodes_explored=explored)
+        status = limit_status if stop_reason else SolveStatus.INFEASIBLE
+        return Solution(status, solver="branch-bound", wall_time=elapsed,
+                        nodes_explored=explored,
+                        termination=stop_reason or "infeasible")
+
+    # Proven lower bound (internal minimization sense): anything still open
+    # plus anything the gap rule pruned; the achieved gap is measured on it.
+    lower = min([n.bound for n in heap] + [pruned_bound, incumbent_value])
+    gap = max(0.0, (incumbent_value - lower) / max(1e-10, abs(incumbent_value)))
 
     values: Dict[str, float] = {}
     for name, value, is_int in zip(names, incumbent, integrality):
         values[name] = float(round(value)) if is_int else float(value)
     objective = program.objective.evaluate(values)
-    status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.OPTIMAL
+    status = limit_status if stop_reason else SolveStatus.OPTIMAL
+    if not stop_reason:
+        stop_reason = (
+            "optimal" if mip_rel_gap <= 0.0
+            else f"optimal within mip_rel_gap={mip_rel_gap:g}"
+        )
     return Solution(
         status=status,
         objective=objective,
@@ -165,4 +200,6 @@ def solve_with_branch_and_bound(
         solver="branch-bound",
         wall_time=elapsed,
         nodes_explored=explored,
+        termination=stop_reason,
+        mip_gap=gap,
     )

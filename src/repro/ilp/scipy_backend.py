@@ -25,11 +25,29 @@ __all__ = ["solve_with_scipy"]
 
 _STATUS_MAP = {
     0: SolveStatus.OPTIMAL,
-    1: SolveStatus.TIME_LIMIT,  # iteration or time limit reached
     2: SolveStatus.INFEASIBLE,
     3: SolveStatus.UNBOUNDED,
     4: SolveStatus.ERROR,
 }
+
+
+def _limit_status(message: str) -> SolveStatus:
+    """Disambiguate scipy's status 1 ("iteration or time limit reached").
+
+    scipy folds every HiGHS resource-limit termination into one code, but
+    the message carries the actual model status ("Time limit reached",
+    "Iteration limit reached", "Solution limit reached", ...).  A TIME_LIMIT
+    report must mean wall clock ran out, nothing else.
+    """
+
+    lowered = message.lower()
+    if "time limit" in lowered:
+        return SolveStatus.TIME_LIMIT
+    if "iteration limit" in lowered or "node limit" in lowered:
+        return SolveStatus.ITERATION_LIMIT
+    # Unknown resource limit: keep the historic reading but the verbatim
+    # reason travels in Solution.termination so reports stay honest.
+    return SolveStatus.TIME_LIMIT
 
 
 def solve_with_scipy(
@@ -76,7 +94,11 @@ def solve_with_scipy(
         raise SolverError(f"scipy.milp failed on model {program.name!r}: {exc}") from exc
     elapsed = time.perf_counter() - start
 
-    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    message = str(getattr(result, "message", ""))
+    if result.status == 1:
+        status = _limit_status(message)
+    else:
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
     values = {}
     objective = None
     if result.x is not None:
@@ -86,11 +108,14 @@ def solve_with_scipy(
         # Recompute the objective from the (rounded) assignment so the sign
         # convention of a maximization model is restored exactly.
         objective = program.objective.evaluate(values)
+    gap = getattr(result, "mip_gap", None)
     return Solution(
         status=status,
         objective=objective,
         values=values,
         solver="scipy-highs",
         wall_time=elapsed,
-        message=str(getattr(result, "message", "")),
+        message=message,
+        termination=message,
+        mip_gap=None if gap is None else float(gap),
     )

@@ -10,12 +10,21 @@ __all__ = ["SolveStatus", "Solution"]
 
 
 class SolveStatus(enum.Enum):
-    """Outcome of an intLP solve."""
+    """Outcome of an intLP solve.
+
+    ``TIME_LIMIT`` and ``ITERATION_LIMIT`` are distinct on purpose: HiGHS
+    reports both under one scipy status code, but the experiments treat a
+    wall-clock budget running out (the paper's multi-day CPLEX runs)
+    differently from a node/iteration cap, so the backends must not conflate
+    them.  Every registered backend maps its termination reasons onto this
+    one vocabulary (the parity tests pin that).
+    """
 
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     TIME_LIMIT = "time_limit"
+    ITERATION_LIMIT = "iteration_limit"
     ERROR = "error"
 
 
@@ -26,6 +35,12 @@ class Solution:
     ``values`` maps variable names to their (rounded) values; integer
     variables are reported as Python ints so the downstream graph code never
     sees floating point noise.
+
+    ``backend`` is the registry name the solve was routed through (filled in
+    by :class:`~repro.ilp.registry.BackendRegistry`), ``termination`` the
+    backend's verbatim stop reason, and ``mip_gap`` the achieved relative
+    gap when the backend reports one -- so a TIME_LIMIT report says honestly
+    how far from proven optimality it stopped.
     """
 
     status: SolveStatus
@@ -35,6 +50,9 @@ class Solution:
     wall_time: float = 0.0
     nodes_explored: int = 0
     message: str = ""
+    backend: str = ""
+    termination: str = ""
+    mip_gap: Optional[float] = None
 
     @property
     def is_optimal(self) -> bool:
@@ -42,9 +60,24 @@ class Solution:
 
     @property
     def is_feasible(self) -> bool:
-        return self.status in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT) and bool(
-            self.values
-        )
+        return self.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.TIME_LIMIT,
+            SolveStatus.ITERATION_LIMIT,
+        ) and bool(self.values)
+
+    def stats(self) -> Dict[str, object]:
+        """Solve statistics for experiment reports (backend, time, gap...)."""
+
+        return {
+            "backend": self.backend or self.solver,
+            "status": self.status.value,
+            "objective": self.objective,
+            "wall_time": self.wall_time,
+            "nodes_explored": self.nodes_explored,
+            "mip_gap": self.mip_gap,
+            "termination": self.termination,
+        }
 
     def __getitem__(self, name: str) -> float:
         return self.values[name]

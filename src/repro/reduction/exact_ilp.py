@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.context import context_for
 from ..analysis.graphalgo import critical_path_length
+from ..analysis.store import active_store
 from ..core.graph import DDG, Edge
 from ..core.lifetime import register_need, value_lifetimes
 from ..core.machine import ProcessorModel
@@ -47,6 +48,7 @@ from ..core.schedule import Schedule
 from ..core.types import BOTTOM, RegisterType, Value, canonical_type
 from ..errors import SolverError, SpillRequiredError
 from ..ilp import IntegerProgram, LinExpr, Solution, SolveStatus, solve
+from ..ilp.registry import backend_request_token
 from ..saturation.exact_ilp import RSModelInfo, build_interference_core
 from ..saturation.greedy import greedy_saturation
 from ..saturation.incremental import IncrementalAnalysis
@@ -128,14 +130,15 @@ def solve_src(
     registers: int,
     deadline: Optional[int] = None,
     horizon: Optional[int] = None,
-    backend: str = "scipy",
+    backend: str = "auto",
     time_limit: Optional[float] = None,
 ) -> Tuple[Optional[Schedule], Solution, RSModelInfo]:
     """Solve the SRC problem: a schedule needing at most *registers* registers.
 
-    Returns ``(schedule, raw solution, model info)``; the schedule is ``None``
-    when the instance is infeasible (no schedule fits the budget within the
-    deadline/horizon).
+    ``backend`` is a registered solver backend or ``"auto"`` (registry
+    policy).  Returns ``(schedule, raw solution, model info)``; the schedule
+    is ``None`` when the instance is infeasible (no schedule fits the budget
+    within the deadline/horizon).
     """
 
     program, info = build_reduction_program(
@@ -147,7 +150,7 @@ def solve_src(
     if solution.status is not SolveStatus.OPTIMAL:
         raise SolverError(
             f"SRC intLP for {ddg.name!r} not solved to optimality "
-            f"(status={solution.status.value})"
+            f"(status={solution.status.value}, backend={solution.backend})"
         )
     return info.schedule_from(solution), solution, info
 
@@ -218,7 +221,7 @@ def reduce_saturation_exact(
     machine: Optional[ProcessorModel] = None,
     mode: Optional[str] = None,
     deadline: Optional[int] = None,
-    backend: str = "scipy",
+    backend: str = "auto",
     time_limit: Optional[float] = None,
     verify: bool = False,
     prune_redundant: bool = True,
@@ -229,6 +232,10 @@ def reduce_saturation_exact(
     time, then freezes its lifetime precedences with serial arcs.  The
     resulting extended graph has register saturation ``RN_sigma <= registers``
     and the smallest critical-path increase achievable for this budget.
+    ``backend`` routes the SRC intLP through the solver registry; the chosen
+    backend and its solve statistics land in ``details``.  With the ambient
+    result store active, a previously computed reduction for the same graph
+    content and parameters is returned without re-solving.
 
     Raises :class:`~repro.errors.SpillRequiredError` when no schedule fits
     the budget (spilling unavoidable).  With ``verify=True`` the saturation
@@ -243,6 +250,46 @@ def reduce_saturation_exact(
         # graph, so the measured ILP loss never exceeds the optimal makespan.
         mode = SerializationMode.OFFSETS
 
+    store = active_store()
+    if store is not None:
+        # A raising solve (spill required, no proof within the limit)
+        # stores nothing.
+        return store.memo(
+            context_for(ddg).graph_hash(),
+            "reduction.exact",
+            {
+                "rtype": rtype.name,
+                "registers": registers,
+                "mode": mode,
+                "deadline": deadline,
+                "backend": backend_request_token(backend),
+                "time_limit": time_limit,
+                "verify": verify,
+                "prune_redundant": prune_redundant,
+            },
+            lambda: _reduce_saturation_exact_uncached(
+                ddg, rtype, registers, mode, deadline, backend, time_limit,
+                verify, prune_redundant, start,
+            ),
+        )
+    return _reduce_saturation_exact_uncached(
+        ddg, rtype, registers, mode, deadline, backend, time_limit,
+        verify, prune_redundant, start,
+    )
+
+
+def _reduce_saturation_exact_uncached(
+    ddg: DDG,
+    rtype: RegisterType,
+    registers: int,
+    mode: str,
+    deadline: Optional[int],
+    backend: str,
+    time_limit: Optional[float],
+    verify: bool,
+    prune_redundant: bool,
+    start: float,
+) -> ReductionResult:
     # Critical paths are measured on bottom-normalised graphs (completion
     # time), the same convention as the heuristic so ILP losses compare.
     original_cp = context_for(ddg).bottom().critical_path_length()
@@ -273,6 +320,8 @@ def reduce_saturation_exact(
         "model": {"variables": solution.values and len(solution.values) or 0},
         "solver": solution.solver,
         "solver_time": solution.wall_time,
+        "backend": solution.backend,
+        "solve": solution.stats(),
         "schedule_makespan": schedule.makespan,
         "witness_register_need": achieved_need,
         "skipped_cyclic_pairs": [(str(u), str(v)) for u, v in skipped],

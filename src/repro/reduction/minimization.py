@@ -47,7 +47,7 @@ def minimize_register_need(
     rtype: RegisterType | str,
     machine: Optional[ProcessorModel] = None,
     mode: Optional[str] = None,
-    backend: str = "scipy",
+    backend: str = "auto",
     time_limit: Optional[float] = None,
 ) -> ReductionResult:
     """Apply the Section-6 minimization baseline to *ddg*.

@@ -47,6 +47,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..analysis.context import context_for
 from ..analysis.graphalgo import NEG_INF
+from ..analysis.store import active_store
 from ..core.graph import DDG
 from ..core.lifetime import register_need
 from ..core.schedule import Schedule
@@ -61,6 +62,7 @@ from ..ilp import (
     add_max_equality,
     solve,
 )
+from ..ilp.registry import backend_request_token
 from .result import SaturationResult
 
 __all__ = [
@@ -312,11 +314,18 @@ def exact_saturation(
     ddg: DDG,
     rtype: RegisterType | str,
     horizon: Optional[int] = None,
-    backend: str = "scipy",
+    backend: str = "auto",
     time_limit: Optional[float] = None,
     prune: bool = True,
 ) -> SaturationResult:
     """Compute the exact register saturation ``RS_t(G)`` by solving the Section-3 intLP.
+
+    ``backend`` names a registered solver backend or ``"auto"`` (the
+    registry's deterministic policy, overridable via ``REPRO_ILP_BACKEND``);
+    the chosen backend and its solve statistics are recorded in
+    ``details``.  When the ambient result store is active (see
+    :func:`repro.analysis.store.active_store`) a previously proven result
+    for the same graph content and parameters is returned without solving.
 
     Raises :class:`~repro.errors.SolverError` when the solver cannot prove
     optimality within the time limit (the experiments treat those instances
@@ -328,37 +337,61 @@ def exact_saturation(
     if not ddg.values(rtype):
         return SaturationResult(rtype, 0, method="intlp", optimal=True,
                                 wall_time=time.perf_counter() - start)
-    program, info = build_rs_program(
-        ddg,
-        rtype,
-        horizon=horizon,
-        prune_redundant_arcs=prune,
-        prune_noninterfering_pairs=prune,
-    )
-    solution = solve(program, backend=backend, time_limit=time_limit, require_feasible=True)
-    if solution.status is not SolveStatus.OPTIMAL:
-        raise SolverError(
-            f"register saturation intLP not solved to optimality "
-            f"(status={solution.status.value}) for {ddg.name!r}"
+
+    def solve_exact() -> SaturationResult:
+        program, info = build_rs_program(
+            ddg,
+            rtype,
+            horizon=horizon,
+            prune_redundant_arcs=prune,
+            prune_noninterfering_pairs=prune,
         )
-    schedule = info.schedule_from(solution)
-    alive = info.alive_values_from(solution)
-    rs = int(round(solution.objective or 0))
-    # Sanity: the witness schedule must exhibit at least the claimed need.
-    witness_need = register_need(info.ddg, schedule, rtype)
-    return SaturationResult(
-        rtype=rtype,
-        rs=rs,
-        saturating_values=tuple(sorted(alive)),
-        method="intlp",
-        witness_schedule=schedule,
-        optimal=True,
-        wall_time=time.perf_counter() - start,
-        details={
-            "model": program.statistics(),
-            "solver": solution.solver,
-            "solver_time": solution.wall_time,
-            "witness_register_need": witness_need,
-            "horizon": info.horizon,
+        solution = solve(
+            program, backend=backend, time_limit=time_limit, require_feasible=True
+        )
+        if solution.status is not SolveStatus.OPTIMAL:
+            raise SolverError(
+                f"register saturation intLP not solved to optimality "
+                f"(status={solution.status.value}, backend={solution.backend}) "
+                f"for {ddg.name!r}"
+            )
+        schedule = info.schedule_from(solution)
+        alive = info.alive_values_from(solution)
+        rs = int(round(solution.objective or 0))
+        # Sanity: the witness schedule must exhibit at least the claimed need.
+        witness_need = register_need(info.ddg, schedule, rtype)
+        return SaturationResult(
+            rtype=rtype,
+            rs=rs,
+            saturating_values=tuple(sorted(alive)),
+            method="intlp",
+            witness_schedule=schedule,
+            optimal=True,
+            wall_time=time.perf_counter() - start,
+            details={
+                "model": program.statistics(),
+                "solver": solution.solver,
+                "solver_time": solution.wall_time,
+                "backend": solution.backend,
+                "solve": solution.stats(),
+                "witness_register_need": witness_need,
+                "horizon": info.horizon,
+            },
+        )
+
+    store = active_store()
+    if store is None:
+        return solve_exact()
+    # A raising solve (no proof within the limit) stores nothing.
+    return store.memo(
+        context_for(ddg).graph_hash(),
+        "saturation.exact",
+        {
+            "rtype": rtype.name,
+            "horizon": horizon,
+            "prune": prune,
+            "backend": backend_request_token(backend),
+            "time_limit": time_limit,
         },
+        solve_exact,
     )

@@ -319,6 +319,13 @@ def greedy_saturation(
         lambda: _greedy_saturation_uncached(
             ddg, rtype, extra_candidates, ctx, killing_set_cache, candidate_evaluator
         ),
+        # Cross-run tier (inert unless a result store is active): the result
+        # is a deterministic function of graph content + these parameters --
+        # the caches/evaluator hooks only affect speed, never the result.
+        persist=(
+            "saturation.greedy",
+            {"rtype": rtype.name, "extra_candidates": extra_candidates},
+        ),
     )
 
 

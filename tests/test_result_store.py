@@ -1,0 +1,301 @@
+"""Tests for the canonical graph hash and the persistent result store."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.analysis import (
+    ResultStore,
+    active_store,
+    canonical_graph_hash,
+    context_for,
+    reset_active_store,
+    set_active_store,
+    store_active,
+)
+from repro.analysis.context import caching_disabled
+from repro.analysis.store import STORE_SCHEMA_VERSION, default_store_dir
+from repro.codes.generator import layered_random_ddg
+from repro.core.graph import DDG
+from repro.core.operation import Operation
+from repro.core.types import FLOAT, INT
+from repro.experiments import BatchEngine, run_pipeline_experiment
+from repro.saturation import greedy_saturation
+
+
+def random_ddg(seed: int) -> DDG:
+    return layered_random_ddg(
+        nodes=14, layers=4, edge_probability=0.35, seed=seed, rtype=INT,
+        name=f"hash-prop-{seed}",
+    )
+
+
+def rebuild_shuffled(ddg: DDG, seed: int) -> DDG:
+    """Rebuild the same graph content with a different insertion order."""
+
+    rng = random.Random(seed)
+    ops = [ddg.operation(n) for n in ddg.nodes()]
+    edges = list(ddg.edges())
+    rng.shuffle(ops)
+    rng.shuffle(edges)
+    g = DDG(f"{ddg.name}-rebuilt-{seed}")
+    for op in ops:
+        g.add_operation(op)
+    for edge in edges:
+        g.add_edge(edge)
+    return g
+
+
+class TestCanonicalGraphHash:
+    def test_invariant_under_insertion_order_and_name(self):
+        for seed in range(8):
+            g = random_ddg(seed)
+            h = canonical_graph_hash(g)
+            assert canonical_graph_hash(g.copy("renamed")) == h
+            for shuffle_seed in (1, 2, 3):
+                assert canonical_graph_hash(rebuild_shuffled(g, shuffle_seed)) == h
+
+    def test_distinct_graphs_distinct_hashes(self):
+        hashes = {canonical_graph_hash(random_ddg(seed)) for seed in range(8)}
+        assert len(hashes) == 8
+
+    def test_semantic_mutations_change_the_hash(self):
+        g = random_ddg(0)
+        base = canonical_graph_hash(g)
+
+        # Extra serial arc.
+        g1 = g.copy()
+        nodes = sorted(g1.nodes())
+        order = {n: i for i, n in enumerate(g1.topological_order())}
+        src = min(nodes, key=lambda n: order[n])
+        dst = max(nodes, key=lambda n: order[n])
+        g1.add_serial_edge(src, dst, latency=0)
+        assert canonical_graph_hash(g1) != base
+
+        # Edge latency.
+        g2 = g.copy()
+        edge = sorted(g2.edges(), key=str)[0]
+        g2.remove_edge(edge)
+        g2.add_edge(edge.with_latency(edge.latency + 7))
+        assert canonical_graph_hash(g2) != base
+
+        # Operation latency.
+        g3 = g.copy()
+        op = g3.operation(sorted(g3.nodes())[0])
+        g3.replace_operation(
+            Operation(op.name, defs=op.defs, latency=op.latency + 1,
+                      delta_r=op.delta_r, delta_w=op.delta_w,
+                      opcode=op.opcode, fu_class=op.fu_class)
+        )
+        assert canonical_graph_hash(g3) != base
+
+        # Register type of a defined value.
+        g4 = g.copy()
+        producer = next(op for op in g4.operations() if op.defs)
+        g4.replace_operation(
+            Operation(producer.name, defs=frozenset({FLOAT}),
+                      latency=producer.latency, delta_r=producer.delta_r,
+                      delta_w=producer.delta_w, opcode=producer.opcode,
+                      fu_class=producer.fu_class)
+        )
+        assert canonical_graph_hash(g4) != base
+
+        # Read offset.
+        g5 = g.copy()
+        op5 = g5.operation(sorted(g5.nodes())[1])
+        g5.replace_operation(op5.with_offsets(op5.delta_r + 1, op5.delta_w))
+        assert canonical_graph_hash(g5) != base
+
+    def test_context_graph_hash_tracks_mutation(self):
+        g = random_ddg(1)
+        ctx = context_for(g)
+        before = ctx.graph_hash()
+        assert before == canonical_graph_hash(g)
+        order = g.topological_order()
+        g.add_serial_edge(order[0], order[-1], latency=0)
+        after = ctx.graph_hash()
+        assert after == canonical_graph_hash(g) and after != before
+
+
+class TestResultStore:
+    def test_round_trip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("h", "q", {"a": 1}) is None
+        store.put("h", "q", {"a": 1}, {"answer": 42})
+        assert store.get("h", "q", {"a": 1}) == {"answer": 42}
+        assert store.get("h", "q", {"a": 2}) is None
+        assert store.stats.hits == 1 and store.stats.misses == 2
+        assert store.stats.puts == 1
+        assert 0.0 < store.stats.hit_rate < 1.0
+        assert store.entry_count() == 1
+
+    def test_params_key_is_insertion_order_independent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("h", "q", {"a": 1, "b": 2}, "x")
+        assert store.get("h", "q", {"b": 2, "a": 1}) == "x"
+        # ...but not value independent.
+        assert store.get("h", "q", {"a": 2, "b": 1}) is None
+
+    def test_corrupt_entry_reads_as_miss_and_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("h", "q", None, "value")
+        path.write_bytes(b"definitely not a pickle")
+        assert store.get("h", "q", None, default="fallback") == "fallback"
+        assert store.stats.errors == 1
+        assert not path.exists()
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("h", "q", None, "value")
+        payload = {"schema": STORE_SCHEMA_VERSION + 1, "graph_hash": "h",
+                   "query": "q", "value": "value"}
+        path.write_bytes(pickle.dumps(payload))
+        assert store.get("h", "q", None) is None
+        assert store.stats.errors == 1
+
+    def test_memo_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+        assert store.memo("h", "q", None, lambda: calls.append(1) or "v") == "v"
+        assert store.memo("h", "q", None, lambda: calls.append(1) or "w") == "v"
+        assert len(calls) == 1
+        assert store.clear() == 1
+        assert store.entry_count() == 0
+
+    def test_schema_directory_isolates_versions(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("h", "q", None, "v")
+        assert f"v{STORE_SCHEMA_VERSION}" in str(path)
+
+
+class TestAmbientStore:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        reset_active_store()
+        assert active_store() is None
+
+    def test_env_dir_activates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        reset_active_store()
+        store = active_store()
+        assert store is not None and store.root == tmp_path
+        assert default_store_dir() == tmp_path
+
+    def test_env_flag_uses_default_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_STORE", "1")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        reset_active_store()
+        store = active_store()
+        assert store is not None
+        assert store.root == tmp_path / "repro-touati04"
+
+    def test_explicit_override_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env"))
+        try:
+            set_active_store(None)
+            assert active_store() is None
+            mine = ResultStore(tmp_path / "mine")
+            set_active_store(mine)
+            assert active_store() is mine
+        finally:
+            reset_active_store()
+
+    def test_store_active_context(self, tmp_path):
+        assert active_store() is None
+        with store_active(tmp_path) as store:
+            assert active_store() is store
+            assert store.root == tmp_path
+        assert active_store() is None
+
+
+class TestPersistentMemoTier:
+    def test_memo_persists_across_equal_content_graphs(self, tmp_path):
+        g1 = random_ddg(2)
+        g2 = rebuild_shuffled(g1, 7)
+        with store_active(tmp_path) as store:
+            r1 = greedy_saturation(g1, INT)
+            hits_before = store.stats.hits
+            r2 = greedy_saturation(g2, INT)
+            assert store.stats.hits > hits_before
+        assert r2.rs == r1.rs
+        assert r2.saturating_values == r1.saturating_values
+        assert r2.killing_function == r1.killing_function
+
+    def test_memo_inert_without_store(self):
+        g = random_ddg(3)
+        ctx = context_for(g)
+        calls = []
+        assert active_store() is None
+        v = ctx.memo("k", lambda: calls.append(1) or 5, persist=("q", None))
+        assert v == 5 and calls == [1]
+
+    def test_caching_disabled_skips_the_store(self, tmp_path):
+        g = random_ddg(4)
+        with store_active(tmp_path) as store:
+            with caching_disabled():
+                greedy_saturation(g, INT)
+            assert store.stats.puts == 0 and store.stats.lookups == 0
+
+    def test_falsy_values_are_cached(self, tmp_path):
+        g = random_ddg(5)
+        ctx = context_for(g)
+        with store_active(tmp_path) as store:
+            assert ctx.memo("z", lambda: 0, persist=("q0", None)) == 0
+            ctx.invalidate()
+            calls = []
+            assert ctx.memo("z", lambda: calls.append(1) or 1, persist=("q0", None)) == 0
+            assert not calls and store.stats.hits == 1
+
+
+class TestEngineStoreIntegration:
+    def test_map_skips_dispatch_on_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x * x
+
+        engine = BatchEngine()
+        key = lambda x: (f"g{x}", {"x": x})
+        first = engine.map(fn, [1, 2, 3], store=store, query="sq", key_fn=key)
+        assert first == [1, 4, 9] and calls == [1, 2, 3]
+        second = engine.map(fn, [3, 2, 1, 4], store=store, query="sq", key_fn=key)
+        assert second == [9, 4, 1, 16]
+        assert calls == [1, 2, 3, 4]  # only the miss was dispatched
+
+    def test_map_plan_rewrites_before_dispatch(self):
+        engine = BatchEngine()
+        out = engine.map(lambda t: t, [("a", "auto"), ("b", "forced")],
+                         plan=lambda t: (t[0], "scipy") if t[1] == "auto" else t)
+        assert out == [("a", "scipy"), ("b", "forced")]
+
+    def test_backend_override_is_part_of_the_experiment_key(self, monkeypatch, tmp_path):
+        """A forced REPRO_ILP_BACKEND must never read another backend's cache."""
+
+        from repro.experiments import run_ilp_size_study
+
+        with store_active(tmp_path):
+            monkeypatch.delenv("REPRO_ILP_BACKEND", raising=False)
+            auto = run_ilp_size_study(sizes=(10,))
+            assert [p.backend for p in auto.points] == ["scipy"]
+            monkeypatch.setenv("REPRO_ILP_BACKEND", "branch-bound")
+            forced = run_ilp_size_study(sizes=(10,))
+            assert [p.backend for p in forced.points] == ["branch-bound"]
+
+    def test_pipeline_experiment_warm_run_is_byte_identical(self, tmp_path):
+        from repro.codes import benchmark_suite
+        from repro.core import superscalar
+
+        suite = benchmark_suite(max_size=12)
+        machine = superscalar(int_registers=4, float_registers=4)
+        with store_active(tmp_path) as store:
+            cold = run_pipeline_experiment(suite=suite, machine=machine, registers=4)
+            warm_hits_before = store.stats.hits
+            warm = run_pipeline_experiment(suite=suite, machine=machine, registers=4)
+            warm_hits = store.stats.hits - warm_hits_before
+        assert warm.to_table() == cold.to_table()
+        assert warm_hits == len(warm.outcomes)  # every instance from the store
