@@ -14,11 +14,12 @@ kernels plus the scale tier up to the 200-operation superblocks -- and
 checks:
 
 * the reports are byte-identical (wall time and the engine tag aside);
-* the incremental engine actually took its warm paths;
-* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 4.0
-  locally -- raised from PR 2's 3.0 floor by the persistent antichain
-  engine, measured 6.2x aggregate / 8.4x on ``scale-sb200``; CI's smoke
-  mode only guards against regressions).
+* the incremental engine actually took its warm paths -- including the
+  PR-5 candidate engine (killed-graph patches, pair-verdict reuse,
+  keep-alive schedule repairs);
+* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 8.0
+  locally -- raised from PR 3's 4.0 floor by the incremental candidate
+  engine; CI's smoke mode only guards against regressions).
 
 ``test_antichain_engine_speedup`` isolates PR 3's kernel claim: it records
 the DV-row trace of every Greedy-k candidate during a real reduction of the
@@ -29,18 +30,27 @@ matching repair).  The replay asserts byte-identical antichains on every
 call and a kernel speedup of ``REPRO_ANTICHAIN_SPEEDUP_MIN`` (default 2.0
 locally on ``scale-sb200``; CI smoke mode guards at 1.0).
 
-``REPRO_BENCH_SMOKE=1`` shrinks the population to seconds for CI, and the
-report ends with a profile of the incremental engine on the largest
-instance -- the record of where the polynomial analyses become the
-bottleneck now that the redundant recomputation is gone.
+``test_scale_sb240_replay`` pushes one tier beyond the comparison
+population: it drives the warm engine alone over the 240-operation
+superblock (the from-scratch loop is the slow side and is already pinned
+byte-identical at 200 ops) and records its per-phase breakdown.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the comparison population to seconds for
+CI.  The report ends with a bottleneck profile of the incremental engine on
+the largest instance, read off the engine's own **monotonic per-stage
+timers** (``engine_stats["stage_timings"]``) rather than a deterministic
+profiler: the profiler attributed lazily-triggered work (e.g. a candidate
+rebuild) to whichever caller happened to fire it, which skewed the PR-3
+profile.  With ``REPRO_PROFILE_JSON=<path>`` every profiled instance's
+phase seconds + engine counters are appended to a machine-readable JSON
+artifact (uploaded by CI) so the next bottleneck item can be read off a
+file instead of a log.
 """
 
 from __future__ import annotations
 
-import cProfile
-import io
+import json
 import os
-import pstats
 import time
 
 from repro.analysis.antichain import PersistentAntichain, antichain_indices_from_rows
@@ -143,7 +153,13 @@ def test_incremental_session_speedup():
             assert stats["pushes"] == expected_pushes, (
                 f"{name}: every applied serialization must go through the session"
             )
-            assert stats["dv_rebuilds"] + stats["dv_reuses"] > 0
+            assert stats["dv_rebuilds"] + stats["dv_patches"] + stats["dv_reuses"] > 0
+            # Every applied serialization repairs the keep-alive schedule in
+            # place instead of re-running the list scheduler (the first push
+            # may precede the warm schedule's lazy build, hence the -1).
+            assert (
+                stats["pushes"] - 1 <= stats["schedule_repairs"] <= stats["pushes"]
+            ), f"{name}: keep-alive schedule must be repaired, not rebuilt"
 
         total_scratch += t_scratch
         total_incremental += t_incremental
@@ -167,7 +183,7 @@ def test_incremental_session_speedup():
     # Local default states the claim; CI smoke mode overrides to a
     # regression guard (shared runners time noisily and the smoke suite is
     # too small for the asymptotic win to show).
-    default_min = "1.0" if _SMOKE else "4.0"
+    default_min = "1.0" if _SMOKE else "8.0"
     minimum = float(os.environ.get("REPRO_REDUCTION_SPEEDUP_MIN", default_min))
     assert speedup >= minimum, (
         f"expected the incremental session to be >= {minimum:.1f}x faster, "
@@ -284,23 +300,102 @@ def test_antichain_engine_speedup():
     )
 
 
+def _record_profile_artifact(name, result, wall_time):
+    """Append one instance's per-phase breakdown to the JSON profile artifact.
+
+    Inert unless ``REPRO_PROFILE_JSON`` names a path.  The artifact carries,
+    per instance, the engine's monotonic stage timers plus every engine
+    counter (``dv_patches``, ``pair_verdicts_reused``, ``schedule_repairs``,
+    ...), which is what makes the next "profile after PR N" roadmap item
+    machine-readable instead of a log-scrape.
+    """
+
+    path = os.environ.get("REPRO_PROFILE_JSON", "")
+    if not path:
+        return
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        data = {}
+    stats = dict(result.details["engine_stats"])
+    timings = stats.pop("stage_timings", {})
+    instances = data.setdefault("instances", {})
+    instances[name] = {
+        "wall_time_seconds": round(wall_time, 4),
+        "iterations": result.details["iterations"],
+        "phase_seconds": {k: round(v, 4) for k, v in sorted(timings.items())},
+        "unattributed_seconds": round(max(0.0, wall_time - sum(timings.values())), 4),
+        "counters": stats,
+    }
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+def _print_stage_profile(name, result, wall_time):
+    """Per-stage breakdown of one incremental run, off the engine's timers.
+
+    The engine accumulates each stage's wall clock with monotonic timers at
+    the stage boundary itself, so a candidate rebuild is billed to
+    ``dv_rebuild`` no matter which lazy query triggered it -- the
+    deterministic-profiler attribution used before PR 5 billed it to the
+    triggering caller, which skewed the PR-3 profile.
+    """
+
+    stats = result.details["engine_stats"]
+    timings = stats["stage_timings"]
+    print(section(f"incremental-engine bottleneck profile ({name})"))
+    print(f"{'stage':<18} {'seconds':>8} {'share':>7}")
+    for stage, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        share = seconds / wall_time if wall_time else 0.0
+        print(f"{stage:<18} {seconds:>7.2f}s {share:>6.1%}")
+    unattributed = max(0.0, wall_time - sum(timings.values()))
+    print(f"{'(loop/driver)':<18} {unattributed:>7.2f}s "
+          f"{(unattributed / wall_time if wall_time else 0.0):>6.1%}")
+    print(f"{'wall time':<18} {wall_time:>7.2f}s")
+    counters = {k: v for k, v in sorted(stats.items()) if isinstance(v, int)}
+    print("counters: " + ", ".join(f"{k}={v}" for k, v in counters.items()))
+
+
 def _print_bottleneck_profile(largest):
-    """Record where the polynomial analyses now dominate (scale-tier profile)."""
+    """Record where the incremental engine now spends its time (stage timers)."""
 
     name, ddg, rtype, budget = largest
-    profiler = cProfile.Profile()
-    profiler.enable()
-    reduce_saturation_heuristic(ddg.copy(), rtype, budget, engine="incremental")
-    profiler.disable()
-    stream = io.StringIO()
-    stats = pstats.Stats(profiler, stream=stream).sort_stats("cumulative")
-    stats.print_stats("repro", 14)
-    print(section(f"incremental-engine bottleneck profile ({name})"))
-    lines = [
-        line for line in stream.getvalue().splitlines()
-        if "/repro/" in line or line.strip().startswith("ncalls")
-    ]
-    print("\n".join(lines[:16]))
+    start = time.perf_counter()
+    result = reduce_saturation_heuristic(
+        ddg.copy(), rtype, budget, engine="incremental"
+    )
+    wall_time = time.perf_counter() - start
+    _print_stage_profile(name, result, wall_time)
+    _record_profile_artifact(name, result, wall_time)
+
+
+def test_scale_sb240_replay():
+    """Warm-engine replay one tier beyond the comparison population.
+
+    The incremental engine alone drives the 240-operation superblock (the
+    from-scratch loop is the slow side; byte-identity is already pinned up
+    to 200 ops and by the property tests).  Asserts the PR-5 warm paths
+    actually carry the run and records the per-phase breakdown in the
+    profile artifact, so the next scale bottleneck is machine-readable.
+    """
+
+    entry = scale_suite(sizes=(), superblock_sizes=(240,))[0]
+    rtype = entry.ddg.register_types()[0]
+    start = time.perf_counter()
+    result = reduce_saturation_heuristic(
+        entry.ddg.copy(), rtype, 8, engine="incremental"
+    )
+    wall_time = time.perf_counter() - start
+    assert result.details["iterations"] > 0
+    stats = result.details["engine_stats"]
+    assert stats["dv_patches"] + stats["dv_reuses"] > 0, (
+        "sb240 must exercise the warm candidate paths"
+    )
+    assert stats["pair_verdicts_reused"] > 0
+    assert stats["pushes"] - 1 <= stats["schedule_repairs"] <= stats["pushes"]
+    _print_stage_profile(entry.name, result, wall_time)
+    _record_profile_artifact(entry.name, result, wall_time)
 
 
 def test_session_undo_restores_prior_timing_state():

@@ -36,6 +36,8 @@ def test_reduction_optimality_breakdown(benchmark, tiny_kernel_suite, machine, e
     print()
     print(report.breakdown_report())
     print(f"instances where even the optimal method must spill: {report.spill_instances}")
+    if report.engine_counters:
+        print(report.engine_summary())
 
     assert report.instances >= 3
     assert report.impossible_cases_observed == 0, "impossible categories observed"

@@ -496,6 +496,19 @@ class PersistentAntichain:
         self._matched = frame.matched
         self._cached = frame.cached
 
+    def clear_frames(self) -> None:
+        """Drop the undo stack, making the current state the new baseline.
+
+        The incremental candidate engine calls this when it *patches* a DV
+        state onto a new killing function: the patch invalidates the sync
+        history the frames belong to (they can never be popped again), but
+        the running closure and the repaired matching stay valid and warm.
+        Without this, monotone patches would leave unpoppable frames
+        accumulating pre-change closure rows forever.
+        """
+
+        self._frames.clear()
+
     # ------------------------------------------------------------------ #
     # Matching repair + extraction
     # ------------------------------------------------------------------ #

@@ -104,6 +104,12 @@ class ReductionOptimalityReport:
 
     comparisons: List[ReductionComparison] = field(default_factory=list)
     spill_instances: int = 0
+    #: Summed warm-engine counters (dv_patches, pair_verdicts_reused,
+    #: schedule_repairs, ...) of every heuristic budget ladder, so the
+    #: long-running sweeps report how much of their work the incremental
+    #: candidate engine answered warm.  Deterministic (counter sums only,
+    #: no timings), so stored cold/warm reports stay byte-identical.
+    engine_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def instances(self) -> int:
@@ -163,6 +169,15 @@ class ReductionOptimalityReport:
             paper_reference=PAPER_BREAKDOWN,
         )
 
+    def engine_summary(self) -> str:
+        """One line of warm-engine counters (empty when nothing was summed)."""
+
+        if not self.engine_counters:
+            return ""
+        return "heuristic engine: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(self.engine_counters.items())
+        )
+
 
 def _budgets_for(rs: int, budgets: Optional[Sequence[int]]) -> List[int]:
     """Register budgets to exercise for a DAG whose saturation is *rs*."""
@@ -175,7 +190,7 @@ def _budgets_for(rs: int, budgets: Optional[Sequence[int]]) -> List[int]:
 
 def _reduction_instance(
     task: Tuple[SuiteEntry, Optional[Sequence[int]], ProcessorModel, Optional[float]]
-) -> Tuple[List[ReductionComparison], int]:
+) -> Tuple[List[ReductionComparison], int, Dict[str, int]]:
     """Batch worker for one DAG: all its register types and budgets, plus spills.
 
     Module-level so the process policy can pickle it.  One task covers the
@@ -188,6 +203,7 @@ def _reduction_instance(
     entry, budgets, machine, time_limit = task
     comparisons: List[ReductionComparison] = []
     spills = 0
+    engine_counters: Dict[str, int] = {}
     for rtype in entry.ddg.register_types():
         base = greedy_saturation(entry.ddg, rtype)
         budget_list = _budgets_for(base.rs, budgets)
@@ -226,6 +242,13 @@ def _reduction_instance(
                 heuristic_results = reduce_saturation_multi_budget(
                     entry.ddg, rtype, budget_list, machine=machine
                 )
+                # The ladder's engine stats are cumulative per session, so
+                # the smallest budget's snapshot is the whole ladder's total
+                # (counters only: deterministic, unlike the stage timers).
+                final = heuristic_results[min(heuristic_results)]
+                for key, value in final.details.get("engine_stats", {}).items():
+                    if isinstance(value, int):
+                        engine_counters[key] = engine_counters.get(key, 0) + value
             heuristic = heuristic_results[budget]
             t_heur = heuristic.wall_time
             comparisons.append(
@@ -246,7 +269,7 @@ def _reduction_instance(
                     heuristic_success=heuristic.success,
                 )
             )
-    return comparisons, spills
+    return comparisons, spills, engine_counters
 
 
 def run_reduction_optimality(
@@ -279,7 +302,9 @@ def run_reduction_optimality(
         _reduction_instance,
         tasks,
         store=active_store(),
-        query="experiment.reduction_optimality",
+        # .v2: the worker payload gained the engine-counter sum; the bumped
+        # query keeps pre-PR-5 stored 2-tuples from being unpacked here.
+        query="experiment.reduction_optimality.v2",
         key_fn=lambda task: (
             context_for(task[0].ddg).graph_hash(),
             {
@@ -296,7 +321,12 @@ def run_reduction_optimality(
     )
     comparisons: List[ReductionComparison] = []
     spills = 0
-    for instance_comparisons, instance_spills in results:
+    counters: Dict[str, int] = {}
+    for instance_comparisons, instance_spills, instance_counters in results:
         comparisons.extend(instance_comparisons)
         spills += instance_spills
-    return ReductionOptimalityReport(comparisons, spill_instances=spills)
+        for key, value in instance_counters.items():
+            counters[key] = counters.get(key, 0) + value
+    return ReductionOptimalityReport(
+        comparisons, spill_instances=spills, engine_counters=counters
+    )

@@ -46,7 +46,7 @@ budget for the price of the smallest one.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis.context import context_for
 from ..analysis.store import active_store
@@ -69,15 +69,19 @@ from .serialization import (
 __all__ = ["reduce_saturation_heuristic", "reduce_saturation_multi_budget"]
 
 
-def _candidate_pairs(saturating: Sequence[Value]) -> List[Tuple[Value, Value]]:
-    """All ordered pairs of saturating values (both serialization directions)."""
+def _candidate_pairs(saturating: Sequence[Value]) -> Iterator[Tuple[Value, Value]]:
+    """Ordered pairs of saturating values, yielded lazily (both directions).
 
-    pairs: List[Tuple[Value, Value]] = []
+    A generator rather than a list: the scan's worklist path answers most
+    pairs from cached verdicts or skips them outright, so eagerly
+    materialising the O(|antichain|^2) pair list every iteration was pure
+    allocation churn.
+    """
+
     for u in saturating:
         for v in saturating:
             if u != v:
-                pairs.append((u, v))
-    return pairs
+                yield (u, v)
 
 
 #: Driver verdict: the pair is already ordered by the transitive closure.
@@ -133,6 +137,9 @@ class _FromScratchDriver:
     def bottom_critical_path(self) -> int:
         return context_for(self.current).bottom().critical_path_length()
 
+    def record_scan_time(self, seconds: float) -> None:
+        """No-op: the historic loop keeps no stage timers."""
+
     def engine_details(self) -> Dict[str, object]:
         return {"engine": "from-scratch"}
 
@@ -165,6 +172,9 @@ class _SessionDriver:
     def bottom_critical_path(self) -> int:
         return self.session.bottom_critical_path()
 
+    def record_scan_time(self, seconds: float) -> None:
+        self.session.record_scan_time(seconds)
+
     def engine_details(self) -> Dict[str, object]:
         cache = self.session.killing_set_cache
         return {
@@ -174,6 +184,11 @@ class _SessionDriver:
                 **self.session.saturation_stats,
                 "killing_set_hits": cache.hits,
                 "killing_set_misses": cache.misses,
+                # Monotonic per-stage wall-clock totals (seconds), keyed by
+                # engine stage; the benchmark's bottleneck profile and the
+                # CI artifact read these instead of caller-attributed
+                # profiler output.
+                "stage_timings": dict(self.session.stage_timings),
             },
         }
 
@@ -216,6 +231,7 @@ class _HeuristicLoop:
             base_cp = driver.critical_path()
             best: Optional[Tuple[Tuple[int, int], object]] = None
             saturating = list(current_rs.saturating_values)
+            scan_start = time.perf_counter()
             for before, after in _candidate_pairs(saturating):
                 # Pairs the transitive closure already orders cannot change
                 # the saturation; `consider` skips them before paying for
@@ -231,6 +247,9 @@ class _HeuristicLoop:
                 key = (cp_increase, arc_count)
                 if best is None or key < best[0]:
                     best = (key, payload)
+            # One stage-timer sample per iteration (a per-pair timer would
+            # out-cost the worklist's reuse fast path).
+            driver.record_scan_time(time.perf_counter() - scan_start)
             if best is None:
                 self.stuck = True
                 break
@@ -375,7 +394,10 @@ def reduce_saturation_heuristic(
     else:
         result = store.memo(
             context_for(ddg).graph_hash(),
-            "reduction.heuristic",
+            # .v2: PR 5 added counters + stage timers to engine_stats; the
+            # bumped query keeps pre-PR-5 stored results (old shape) from
+            # being served as current ones.
+            "reduction.heuristic.v2",
             {
                 "rtype": rtype.name,
                 "registers": registers,

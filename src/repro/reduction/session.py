@@ -104,6 +104,15 @@ class ReductionSession:
         # latencies depend only on the operations, neither of which a serial
         # arc can change, so this survives every push/pop.
         self._proto_edges_cache: Dict[Tuple[Value, Value], Tuple[Tuple[str, int], ...]] = {}
+        # (before, after) -> last iteration's `consider` verdict.  A verdict
+        # depends only on the pair's proto readers, the target's descendant
+        # set / issue-time window and the readers' ASAP times; a push dirties
+        # exactly {dst} ∪ desc(dst) ∪ anc(src) per applied arc, so verdicts
+        # whose nodes avoid that region are re-used verbatim (the critical
+        # path itself is re-read fresh -- see `consider`).  The cache is
+        # framed copy-on-write per push so `pop` restores it exactly.
+        self._pair_verdicts: Dict[Tuple[Value, Value], Tuple] = {}
+        self._verdict_frames: List[Dict[Tuple[Value, Value], Tuple]] = []
         self._cp_state_version = -1
         self._asap: Dict[str, int] = {}
         self._to_sinks: Dict[str, float] = {}
@@ -113,7 +122,11 @@ class ReductionSession:
             "pops": 0,
             "implied_skipped": 0,
             "evaluated_candidates": 0,
+            "pair_verdicts_reused": 0,
         }
+        #: Monotonic per-stage accumulator for the candidate-pair scan; the
+        #: saturation-side stages live on `IncrementalSaturation.timings`.
+        self.timings: Dict[str, float] = {"pair_scan": 0.0}
 
     # ------------------------------------------------------------------ #
     # Graph access
@@ -225,6 +238,10 @@ class ReductionSession:
     #: `consider` outcome: the pair's ordering is already forced.
     IMPLIED = object()
 
+    #: Cached-verdict tags (see `_pair_verdicts`).
+    _V_IMPLIED = ("implied",)
+    _V_NONE = ("none",)
+
     def consider(
         self, before: Value, after: Value, base_cp: int
     ) -> object:
@@ -237,6 +254,45 @@ class ReductionSession:
         pairs per iteration and one winner, the allocation churn dominated
         the loop.
 
+        The scan runs off a dirty-pair worklist: verdicts from the previous
+        iteration whose endpoints were untouched by the applied
+        serialization are returned verbatim (counted in
+        ``pair_verdicts_reused``).  A cached candidate verdict stores the
+        pair-local quantity ``X = max(asap[target], asap[reader]+latency)
+        + to_sinks[target]`` rather than the cp increase, so the global
+        critical path -- which any push may move -- is re-read fresh on
+        every reuse; the arithmetic is bit-for-bit the fresh path's.
+
+        The ``pair_scan`` stage timer is fed per *iteration* by the loop
+        driver (:meth:`record_scan_time`), not here: with O(|antichain|^2)
+        calls per iteration a per-call timer would tax the reuse fast path
+        with more clock reads than remaining work.
+        """
+
+        key = (before, after)
+        verdict = self._pair_verdicts.get(key)
+        if verdict is not None:
+            self.stats["pair_verdicts_reused"] += 1
+        else:
+            verdict = self._consider_fresh(before, after)
+            self._pair_verdicts[key] = verdict
+        if verdict is self._V_IMPLIED:
+            self.stats["implied_skipped"] += 1
+            return self.IMPLIED
+        if verdict is self._V_NONE:
+            return None
+        _, x, arc_count, payload = verdict
+        self._refresh_cp_state()
+        return int(max(self._cp, x)) - base_cp, arc_count, payload
+
+    def record_scan_time(self, seconds: float) -> None:
+        """Accumulate one iteration's candidate-scan wall clock (stage timer)."""
+
+        self.timings["pair_scan"] += seconds
+
+    def _consider_fresh(self, before: Value, after: Value) -> Tuple:
+        """Evaluate one pair cold; returns the cacheable verdict tuple.
+
         Because all of the pair's arcs end at the same target, the extended
         critical path closed-forms to
         ``max(cp, max(asap[target], asap[reader] + latency) + to_sinks[target])``
@@ -244,10 +300,10 @@ class ReductionSession:
         """
 
         if after.node == BOTTOM or before.node == BOTTOM:
-            return None
+            return self._V_NONE
         proto = self._proto_edges(before, after)
         if not proto:
-            return None
+            return self._V_NONE
         target = after.node
         desc = self._analysis.descendants_excl()
         # The reachability screen + exact longest-path confirmation of the
@@ -260,12 +316,12 @@ class ReductionSession:
                 if self.lp_row(reader)[target] < latency:
                     break
             else:
-                self.stats["implied_skipped"] += 1
-                return self.IMPLIED
+                return self._V_IMPLIED
 
         kept = self._kept_arcs(proto, target)
         if not kept:
-            return None  # a cycle, or everything dominated by existing arcs
+            # A cycle, or everything dominated by existing arcs.
+            return self._V_NONE
         self.stats["evaluated_candidates"] += 1
         self._refresh_cp_state()
         asap = self._asap
@@ -274,8 +330,8 @@ class ReductionSession:
             cand = asap[reader] + latency
             if cand > best_target:
                 best_target = cand
-        cp_after = int(max(self._cp, best_target + self._to_sinks[target]))
-        return cp_after - base_cp, len(kept), (target, kept)
+        x = best_target + self._to_sinks[target]
+        return ("cand", x, len(kept), (target, kept))
 
     def apply_payload(self, payload) -> List[Edge]:
         """Materialise and push the arcs of a winning :meth:`consider` payload."""
@@ -305,12 +361,50 @@ class ReductionSession:
         )
         self._saturation.push(edges)
         self.stats["pushes"] += 1
+        self._invalidate_verdicts()
+
+    def _invalidate_verdicts(self) -> None:
+        """Frame the pair-verdict cache and drop the dirty region.
+
+        Applied arcs (read off the working analysis' undo frame; no-op
+        pushes dirty nothing) can move a pair's verdict only through nodes
+        in ``{dst} ∪ desc(dst) ∪ anc(src)``: the target's ASAP window and
+        descendant set change only below the arc, the readers' ASAP times
+        only below it, and path-length / reachability answers involving the
+        arc require reaching its source.  Pairs whose target and proto
+        readers all avoid that region provably keep last iteration's
+        verdict.
+        """
+
+        old = self._pair_verdicts
+        self._verdict_frames.append(old)
+        frame = self._analysis._frames[-1]
+        if not frame.records or not old:
+            self._pair_verdicts = dict(old)
+            return
+        dirty: set = set()
+        desc = self._analysis.descendants_incl()
+        for record in frame.records:
+            dirty.add(record.edge.dst)
+            dirty |= desc[record.edge.dst]
+            dirty |= self._analysis.ancestors_incl(record.edge.src)
+        proto_cache = self._proto_edges_cache
+        kept: Dict[Tuple[Value, Value], Tuple] = {}
+        for key, verdict in old.items():
+            if key[1].node in dirty:
+                continue
+            proto = proto_cache.get(key)
+            if proto is None or any(reader in dirty for reader, _ in proto):
+                continue
+            kept[key] = verdict
+        self._pair_verdicts = kept
 
     def pop(self) -> None:
         """Undo the most recent push, restoring the exact prior state."""
 
         self._saturation.pop()
         self.stats["pops"] += 1
+        self._pair_verdicts = self._verdict_frames.pop()
 
     def reset_to_depth(self, depth: int) -> None:
         """Pop frames until exactly *depth* pushes remain applied.
@@ -347,6 +441,17 @@ class ReductionSession:
         """DV-DAG reuse counters of the warm saturation state."""
 
         return self._saturation.stats
+
+    @property
+    def stage_timings(self) -> Dict[str, float]:
+        """Monotonic per-stage wall-clock totals, keyed by engine stage.
+
+        The union of the session's scan timer and the saturation engine's
+        stage timers; the benchmark's bottleneck profile reports these so
+        time is attributed to the stage that spent it.
+        """
+
+        return {**self.timings, **self._saturation.timings}
 
     def analysis_fingerprint(self) -> Dict[str, object]:
         """A value-level snapshot of the observable analysis state.

@@ -247,9 +247,26 @@ def _keep_alive_schedule(
     their consumers as late as possible (low priority), which tends to
     stretch lifetimes and exhibit large register needs -- a cheap witness
     generator for the heuristic.
+
+    The result is memoized on the graph's context under
+    ``("keep_alive_schedule", rtype)``, which is the hook the incremental
+    reduction engine uses to inject its repaired warm schedule (see
+    :class:`~repro.scheduling.list_scheduler.IncrementalListSchedule`)
+    instead of paying this from-scratch list scheduling every iteration.
     """
 
     ctx = ctx if ctx is not None else context_for(ddg)
+    return ctx.memo(
+        ("keep_alive_schedule", rtype),
+        lambda: _keep_alive_schedule_uncached(ddg, rtype, ctx),
+    )
+
+
+def _keep_alive_schedule_uncached(
+    ddg: DDG, rtype: RegisterType, ctx: AnalysisContext
+) -> Schedule:
+    """The from-scratch keep-alive list scheduling (the reference path)."""
+
     asap = ctx.asap_times()
     horizon = ctx.critical_path_length() + 1
 

@@ -1,0 +1,284 @@
+"""Property tests for the incremental Greedy-k candidate engine (PR 5).
+
+Three warm paths replaced from-scratch recomputation inside the reduction
+loop's candidate machinery, and each must be byte-identical to the cold
+path it replaced:
+
+* ``_CandidateDVState.patch`` re-targets a warm killed-graph mirror onto a
+  changed killing function by rewriting only the killing-arc slots that
+  moved -- the patched killed graph, DV rows and extracted antichain must
+  equal a full :meth:`rebuild`'s;
+* the session's pair-verdict worklist re-uses ``consider`` verdicts for
+  pairs untouched by the applied serialization -- every (possibly cached)
+  verdict must equal a cold session's on the same graph;
+* :class:`~repro.scheduling.list_scheduler.IncrementalListSchedule` repairs
+  the keep-alive candidate's list schedule downstream of pushed arcs -- the
+  repaired schedule must equal the from-scratch keep-alive scheduler's,
+  across push *and* pop.
+
+The tests drive the real heuristic loop (via ``_SessionDriver`` /
+``_HeuristicLoop``) so the exercised kf deltas are the ones production
+takes, and they assert the warm paths actually fired (a silently dead patch
+path would pass any equality check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import context_for
+from repro.codes.generator import layered_random_ddg, random_superblock
+from repro.codes.kernels import figure2_dag
+from repro.core.graph import Edge
+from repro.core.types import INT, DependenceKind
+from repro.reduction import ReductionSession
+from repro.reduction.heuristic import _HeuristicLoop, _SessionDriver
+from repro.reduction.serialization import SerializationMode
+from repro.saturation.greedy import _keep_alive_schedule_uncached
+from repro.saturation.incremental import _CandidateDVState
+from repro.saturation.pkill import KillingFunction, killed_graph
+from repro.scheduling.list_scheduler import IncrementalListSchedule
+
+
+def _edge_key(graph):
+    return sorted(
+        (e.src, e.dst, e.latency, e.kind.value, None if e.rtype is None else e.rtype.name)
+        for e in graph.edges()
+    )
+
+
+def _drive_loop(ddg, rtype, budget, on_iteration=None, max_iterations=500):
+    driver = _SessionDriver(ddg.copy(), rtype, SerializationMode.OFFSETS, True)
+    loop = _HeuristicLoop(driver, max_iterations)
+    loop.on_iteration = on_iteration
+    initial = driver.saturation()
+    if on_iteration is not None:
+        on_iteration(initial)
+    loop.run_to(initial, budget)
+    return driver
+
+
+class TestCandidatePatchEqualsRebuild:
+    """A patched DV state must be indistinguishable from a rebuilt one."""
+
+    def _check_states(self, session):
+        saturation = session._saturation
+        pk = saturation._pk
+        for label, state in saturation._candidate_states.items():
+            if not state.valid or state.kf_mapping is None:
+                continue
+            kf = KillingFunction(session.rtype, state.kf_mapping)
+            if state.cyclic:
+                # The cached invalidity verdict must agree with a cold build.
+                killed = killed_graph(saturation.mirror_ddg, kf, pk=pk)
+                assert not context_for(killed).is_acyclic(), label
+                continue
+            reference = _CandidateDVState(
+                saturation._values, saturation._node_index, saturation._delta_w
+            )
+            reference.rebuild(saturation.mirror_ddg, kf, pk)
+            assert not reference.cyclic, label
+            assert _edge_key(state.analysis.ddg) == _edge_key(reference.analysis.ddg), (
+                f"patched killed graph diverges from rebuild on {label!r}"
+            )
+            assert state.dv_rows() == reference.dv_rows(), (
+                f"patched DV rows diverge from rebuild on {label!r}"
+            )
+            assert state.antichain() == reference.antichain() == (
+                state.antichain_from_scratch()
+            ), f"patched antichain diverges on {label!r}"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_patched_states_equal_rebuilt_states(self, seed):
+        ddg = layered_random_ddg(nodes=18 + seed, layers=4, seed=40 + seed)
+        checked = {"iters": 0}
+
+        def probe(_sat):
+            checked["iters"] += 1
+
+        driver = _drive_loop(ddg, INT, 2, on_iteration=probe)
+        self._check_states(driver.session)
+        assert checked["iters"] >= 1
+
+    def test_superblock_patches_fire_and_match(self):
+        ddg = random_superblock(operations=60, seed=3)
+        driver = _drive_loop(ddg, INT, 6)
+        session = driver.session
+        self._check_states(session)
+        stats = session.saturation_stats
+        # The warm paths must actually have been taken on a reduction-heavy
+        # instance -- equality over a dead patch path proves nothing.
+        assert stats["dv_patches"] > 0
+        assert stats["dv_reuses"] > 0
+        assert session.stats["pair_verdicts_reused"] > 0
+        assert stats["schedule_repairs"] > 0
+
+    def test_patch_after_explicit_push_matches_rebuild(self):
+        """Patching across session pushes (synced killed mirrors) stays exact."""
+
+        ddg = layered_random_ddg(nodes=20, layers=4, seed=7)
+        session = ReductionSession(ddg, INT)
+        sat = session.saturation()
+        pushed = False
+        for u in sat.saturating_values:
+            for v in sat.saturating_values:
+                if u != v:
+                    edges = session.legal_serialization(u, v)
+                    if edges:
+                        session.push(edges)
+                        pushed = True
+                        break
+            if pushed:
+                break
+        assert pushed
+        session.saturation()
+        self._check_states(session)
+
+
+class TestPairVerdictWorklist:
+    """Cached `consider` verdicts must equal a cold session's verdicts."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_verdicts_match_cold_session(self, seed):
+        ddg = layered_random_ddg(nodes=17 + seed, layers=4, seed=50 + seed)
+        driver = _SessionDriver(ddg.copy(), INT, SerializationMode.OFFSETS, True)
+        session = driver.session
+        loop = _HeuristicLoop(driver, 500)
+        current = driver.saturation()
+
+        def compare_all_pairs(sat):
+            cold = ReductionSession(session.ddg.copy(), INT, prune_redundant=False)
+            base_cp = session.critical_path()
+            assert cold.critical_path() == base_cp
+            values = list(sat.saturating_values)
+            for u in values:
+                for v in values:
+                    if u == v:
+                        continue
+                    warm = session.consider(u, v, base_cp)
+                    fresh = cold.consider(u, v, base_cp)
+                    if warm is session.IMPLIED or fresh is cold.IMPLIED:
+                        assert warm is session.IMPLIED and fresh is cold.IMPLIED, (u, v)
+                    else:
+                        assert warm == fresh, (u, v)
+
+        compare_all_pairs(current)
+        for _ in range(4):
+            before = loop.iterations
+            current = loop.run_to(current, max(1, current.rs - 1))
+            if loop.iterations == before or loop.stuck:
+                break
+            compare_all_pairs(current)
+        assert session.stats["pair_verdicts_reused"] > 0
+
+    def test_verdict_cache_restored_by_pop(self):
+        ddg = layered_random_ddg(nodes=18, layers=4, seed=12)
+        session = ReductionSession(ddg, INT)
+        sat = session.saturation()
+        base_cp = session.critical_path()
+        values = list(sat.saturating_values)
+        applied = None
+        for u in values:
+            for v in values:
+                if u == v:
+                    continue
+                verdict = session.consider(u, v, base_cp)
+                if verdict is not session.IMPLIED and verdict is not None:
+                    applied = verdict
+                    break
+            if applied is not None:
+                break
+        if applied is None:
+            pytest.skip("graph admits no applicable serialization")
+        snapshot = dict(session._pair_verdicts)
+        session.apply_payload(applied[2])
+        session.pop()
+        assert session._pair_verdicts == snapshot
+
+
+class TestIncrementalListSchedule:
+    """The repaired keep-alive schedule equals the from-scratch scheduler's."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reschedule_matches_from_scratch(self, seed):
+        ddg = layered_random_ddg(nodes=16 + seed, layers=4, seed=60 + seed)
+        g = ddg.with_bottom()
+        warm = IncrementalListSchedule(g)
+        rtype = ddg.register_types()[0]
+        assert warm.schedule() == _keep_alive_schedule_uncached(g, rtype, context_for(g))
+
+        desc = context_for(g).descendants_map(include_self=False)
+        nodes = g.nodes()
+        added = 0
+        for u in nodes:
+            if added >= 3:
+                break
+            for v in nodes:
+                if u == v or u in desc[v] or v in desc[u]:
+                    continue
+                edge = Edge(u, v, 2, DependenceKind.SERIAL, None)
+                g.add_edge(edge)
+                desc = context_for(g).descendants_map(include_self=False)
+                warm.push()
+                warm.reschedule([v])
+                assert warm.schedule() == _keep_alive_schedule_uncached(
+                    g, rtype, context_for(g)
+                ), f"repair diverges after adding {u}->{v}"
+                added += 1
+                break
+        assert added >= 1
+
+    def test_push_pop_restores_schedule(self):
+        ddg = figure2_dag().with_bottom()
+        warm = IncrementalListSchedule(ddg)
+        before = warm.schedule()
+        desc = context_for(ddg).descendants_map(include_self=False)
+        pair = next(
+            (u, v)
+            for u in ddg.nodes()
+            for v in ddg.nodes()
+            if u != v and u not in desc[v] and v not in desc[u]
+        )
+        edge = Edge(pair[0], pair[1], 4, DependenceKind.SERIAL, None)
+        ddg.add_edge(edge)
+        warm.push()
+        warm.reschedule([pair[1]])
+        ddg.remove_edge(edge)
+        assert warm.pop()
+        assert warm.schedule() == before
+        # A pop past the build point reports the state unusable.
+        assert not warm.pop()
+
+    def test_latency_raise_is_repaired(self):
+        ddg = figure2_dag().with_bottom()
+        warm = IncrementalListSchedule(ddg)
+        edge = next(e for e in ddg.edges() if e.is_serial)
+        raised = Edge(edge.src, edge.dst, edge.latency + 7, DependenceKind.SERIAL, None)
+        ddg.add_edge(raised)
+        warm.reschedule([edge.dst])
+        rtype = ddg.register_types()[0]
+        assert warm.schedule() == _keep_alive_schedule_uncached(
+            ddg, rtype, context_for(ddg)
+        )
+
+
+class TestCounterSurfacing:
+    """The new engine counters ride in the reduction report details."""
+
+    def test_counters_in_details(self):
+        from repro.reduction import reduce_saturation_heuristic
+
+        ddg = random_superblock(operations=60, seed=3)
+        result = reduce_saturation_heuristic(ddg, INT, 6, engine="incremental")
+        stats = result.details["engine_stats"]
+        for counter in (
+            "dv_rebuilds",
+            "dv_reuses",
+            "dv_patches",
+            "pair_verdicts_reused",
+            "schedule_repairs",
+        ):
+            assert counter in stats, counter
+        timings = stats["stage_timings"]
+        for stage in ("pair_scan", "dv_patch", "dv_rebuild", "keep_alive_repair"):
+            assert stage in timings and timings[stage] >= 0.0

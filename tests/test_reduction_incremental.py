@@ -185,6 +185,50 @@ class TestResetToDepth:
         assert session.depth == 0
         assert session.analysis_fingerprint() == fingerprints[0]
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reset_with_states_retargeted_mid_stack(self, seed):
+        """States patched/rebuilt mid-stack are dropped on rewind, then rebuilt.
+
+        A push whose serialization changes killing functions makes the next
+        saturation re-target candidate DV states *above* depth 0 (patch or
+        rebuild, either way their killed mirrors have the pushed arcs baked
+        into the new baseline).  ``reset_to_depth`` must discard exactly
+        those states, restore the value-level analysis state bit-for-bit,
+        and the following saturation must equal a cold run on the restored
+        graph.
+        """
+
+        ddg = layered_random_ddg(nodes=18 + seed, layers=4, seed=70 + seed)
+        session = ReductionSession(ddg, INT, prune_redundant=False)
+        fingerprint0 = session.analysis_fingerprint()
+        sat = session.saturation()
+        pushes = 0
+        while pushes < 3:
+            if not _push_one(session, sat):
+                break
+            pushes += 1
+            sat = session.saturation()  # may re-target states mid-stack
+        if pushes < 2:
+            pytest.skip("population admits too few serializations")
+        saturation = session._saturation
+        mid_stack = {
+            label
+            for label, state in saturation._candidate_states.items()
+            if len(state._sync_frames) < session.depth
+        }
+        session.reset_to_depth(0)
+        assert session.depth == 0
+        # Re-targeted states cannot replay frames below their new baseline;
+        # they must be gone before the next saturation recreates them.
+        for label in mid_stack:
+            assert label not in saturation._candidate_states, label
+        assert session.analysis_fingerprint() == fingerprint0
+        sat_back = session.saturation()
+        cold = greedy_saturation(session.ddg.copy(), INT)
+        assert sat_back.rs == cold.rs
+        assert sat_back.saturating_values == cold.saturating_values
+        assert sat_back.killing_function == cold.killing_function
+
     def test_reset_to_current_depth_is_noop(self):
         session = ReductionSession(figure2_dag(), INT)
         session.reset_to_depth(0)
