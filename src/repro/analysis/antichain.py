@@ -473,6 +473,23 @@ class PersistentAntichain:
                     closure[x] = merged
         return True
 
+    def insert_mask(self, u: int, mask: int) -> bool:
+        """Insert ``u < j`` for every bit ``j`` of *mask*, ascending.
+
+        The bulk form of :meth:`insert` for callers whose new successors
+        arrive as a bitset (the flat-array DV sync/patch path); stops and
+        returns False as soon as one pair closes a cycle, exactly like the
+        per-pair loop it replaces (later inserts on a cyclic state are
+        no-ops anyway).
+        """
+
+        while mask:
+            low = mask & -mask
+            if not self.insert(u, low.bit_length() - 1):
+                return False
+            mask ^= low
+        return True
+
     def push(self) -> None:
         """Open an undo frame covering every subsequent insert/repair."""
 
@@ -546,10 +563,15 @@ class PersistentAntichain:
                 else:
                     dist[u] = infinity
             found = False
+            # Each right vertex needs distancing (or the free-vertex check)
+            # at most once per phase, so track the already-visited rights in
+            # one bitmask and strip them from every subsequent closure row.
+            seen = 0
             while queue:
                 u = queue.popleft()
                 next_dist = dist[u] + 1
-                mask = closure[u]
+                mask = closure[u] & ~seen
+                seen |= mask
                 while mask:
                     low = mask & -mask
                     v = low.bit_length() - 1

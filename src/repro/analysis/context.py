@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, TypeVar
 from ..core.graph import DDG, Edge
 from ..errors import CyclicGraphError
 from . import graphalgo
+from .interner import OpInterner
 
 __all__ = ["AnalysisContext", "context_for", "caching_disabled", "caching_enabled"]
 
@@ -123,6 +124,8 @@ class AnalysisContext:
         self._version = ddg.version
         self._cache: Dict[object, object] = {}
         self._lock = threading.RLock()
+        self._interner: Optional[OpInterner] = None
+        self._interner_version = -1
 
     def __getstate__(self):
         # Contexts ride on their DDG, which the process engine pickles; the
@@ -138,6 +141,8 @@ class AnalysisContext:
         self._version = -1
         self._cache = {}
         self._lock = threading.RLock()
+        self._interner = None
+        self._interner_version = -1
 
     # ------------------------------------------------------------------ #
     # Cache plumbing
@@ -162,6 +167,29 @@ class AnalysisContext:
         with self._lock:
             self._cache.clear()
             self._version = self._ddg.version
+
+    def op_interner(self) -> OpInterner:
+        """Stable name ↔ small-int interning of the graph's operations.
+
+        Lives *outside* the versioned analysis cache on purpose: the
+        reduction pipeline mutates arcs, never the node set, and the flat
+        rows and bitsets indexed by these ids must survive graph revisions.
+        Ids are assigned in ``DDG.nodes()`` insertion order (which
+        :meth:`DDG.copy` preserves), so independently interned copies of a
+        graph -- the bottom mirror and the killed graphs derived from it --
+        agree on every id.  The rare node addition (``with_bottom`` on a
+        live graph) is picked up append-only, keeping existing ids stable.
+        """
+
+        interner = self._interner
+        if interner is None:
+            interner = self._interner = OpInterner(self._ddg.nodes())
+            self._interner_version = self._ddg.version
+        elif self._interner_version != self._ddg.version:
+            for name in self._ddg.nodes():
+                interner.intern(name)
+            self._interner_version = self._ddg.version
+        return interner
 
     def graph_hash(self) -> str:
         """Canonical content hash of the graph (see :mod:`repro.analysis.store`).

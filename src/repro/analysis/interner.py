@@ -1,0 +1,80 @@
+"""Stable operation-name interning for the flat-array analysis core.
+
+The incremental engine's hot state (longest-path rows, DV bitsets, killer
+maps) is indexed by *operation*.  Keying it by name means every inner-loop
+access pays a string hash and every per-value structure is a dict; interning
+the names once per analysis epoch turns those into list indexing and small
+``int`` keys, and gives the bitset layers (:mod:`repro.analysis.antichain`,
+the candidate DV mirrors) one shared id space.
+
+The id assignment is *deterministic*: ids are handed out in first-intern
+order, and every consumer seeds the interner from ``DDG.nodes()`` (insertion
+order, which :meth:`DDG.copy` preserves).  Two graphs with the same node set
+in the same order -- e.g. a bottom mirror and the killed graphs copied from
+it -- therefore agree on every id even when they intern independently, which
+is what lets candidate killed-graph mirrors exchange flat rows with the
+analyses built on the mirror.  A session's node set never changes (only
+arcs are pushed/popped), so ids are stable across push/pop/reset; the
+interner is append-only by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["OpInterner"]
+
+
+class OpInterner:
+    """Append-only name ↔ small-int interning of a graph's operations."""
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """The id of *name*, assigning the next free id on first sight."""
+
+        i = self._ids.get(name)
+        if i is None:
+            i = len(self._names)
+            self._ids[name] = i
+            self._names.append(name)
+        return i
+
+    def id(self, name: str) -> int:
+        """The id of an already-interned name (KeyError otherwise)."""
+
+        return self._ids[name]
+
+    def get(self, name: str) -> Optional[int]:
+        """The id of *name*, or None when it was never interned."""
+
+        return self._ids.get(name)
+
+    def name(self, op_id: int) -> str:
+        """The name owning *op_id* (the reverse table, used for reporting)."""
+
+        return self._names[op_id]
+
+    def names(self) -> List[str]:
+        """The reverse table ``id -> name`` as a fresh list."""
+
+        return list(self._names)
+
+    @property
+    def size(self) -> int:
+        return len(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpInterner({len(self._names)} ops)"

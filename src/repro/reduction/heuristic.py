@@ -160,6 +160,16 @@ class _SessionDriver:
         result = self.session.consider(before, after, base_cp)
         return _IMPLIED if result is self.session.IMPLIED else result
 
+    def scan(self, saturating: Sequence[Value], base_cp: int):
+        """One whole candidate-pair scan inlined in the session (fast path).
+
+        Same verdicts, same winner, same counters as per-pair
+        :meth:`consider` calls -- the loop overhead (pair tuples, method
+        dispatch, per-pair cp refresh) is hoisted instead.
+        """
+
+        return self.session.scan(saturating, base_cp)
+
     def apply(self, payload) -> List[Edge]:
         return self.session.apply_payload(payload)
 
@@ -232,21 +242,30 @@ class _HeuristicLoop:
             best: Optional[Tuple[Tuple[int, int], object]] = None
             saturating = list(current_rs.saturating_values)
             scan_start = time.perf_counter()
-            for before, after in _candidate_pairs(saturating):
-                # Pairs the transitive closure already orders cannot change
-                # the saturation; `consider` skips them before paying for
-                # legality + scoring, and defers arc construction to the
-                # winner.
-                considered = driver.consider(before, after, base_cp)
-                if considered is _IMPLIED:
-                    self.skipped_implied += 1
-                    continue
-                if considered is None:
-                    continue
-                cp_increase, arc_count, payload = considered
-                key = (cp_increase, arc_count)
-                if best is None or key < best[0]:
-                    best = (key, payload)
+            scan = getattr(driver, "scan", None)
+            if scan is not None:
+                # Session engine: the whole quadratic scan runs inside the
+                # session with the pair keys and cp refresh hoisted; verdicts
+                # and the winning (cp_increase, arc_count) order are the same
+                # as the per-pair loop below.
+                best, implied = scan(saturating, base_cp)
+                self.skipped_implied += implied
+            else:
+                for before, after in _candidate_pairs(saturating):
+                    # Pairs the transitive closure already orders cannot
+                    # change the saturation; `consider` skips them before
+                    # paying for legality + scoring, and defers arc
+                    # construction to the winner.
+                    considered = driver.consider(before, after, base_cp)
+                    if considered is _IMPLIED:
+                        self.skipped_implied += 1
+                        continue
+                    if considered is None:
+                        continue
+                    cp_increase, arc_count, payload = considered
+                    key = (cp_increase, arc_count)
+                    if best is None or key < best[0]:
+                        best = (key, payload)
             # One stage-timer sample per iteration (a per-pair timer would
             # out-cost the worklist's reuse fast path).
             driver.record_scan_time(time.perf_counter() - scan_start)

@@ -99,20 +99,39 @@ class ReductionSession:
         self._analysis = IncrementalAnalysis(working)
         self._saturation = IncrementalSaturation(self._analysis, self.rtype)
         self._saturation.killing_set_cache = _KillingSetCache()
-        # (before, after) -> ((reader, latency), ...): the static part of the
+        # Flat pair keying: the saturation state already indexes the mirror's
+        # values; an ordered pair becomes the small int `ui * n + vi`, so the
+        # per-pair caches below hash machine ints instead of Value tuples on
+        # the scan fast path.  Pairs outside the index (BOTTOM endpoints,
+        # foreign types) fall back to the (before, after) tuple key -- the
+        # two key spaces cannot collide in one dict.
+        self._vindex: Dict[str, int] = self._saturation._node_index
+        self._values_by_index: Tuple[Value, ...] = self._saturation._values
+        self._nvals: int = len(self._values_by_index) or 1
+        # pair key -> ((reader, latency), ...): the static part of the
         # Theorem-4.2 serialization.  Readers are flow consumers and the
         # latencies depend only on the operations, neither of which a serial
         # arc can change, so this survives every push/pop.
-        self._proto_edges_cache: Dict[Tuple[Value, Value], Tuple[Tuple[str, int], ...]] = {}
-        # (before, after) -> last iteration's `consider` verdict.  A verdict
+        self._proto_edges_cache: Dict[object, Tuple[Tuple[str, int], ...]] = {}
+        # pair key -> last iteration's `consider` verdict.  A verdict
         # depends only on the pair's proto readers, the target's descendant
         # set / issue-time window and the readers' ASAP times; a push dirties
-        # exactly {dst} ∪ desc(dst) ∪ anc(src) per applied arc, so verdicts
+        # exactly {dst} ∪ desc(dst) per applied arc plus the nodes whose
+        # sink distance moved (see `_invalidate_verdicts`), so verdicts
         # whose nodes avoid that region are re-used verbatim (the critical
         # path itself is re-read fresh -- see `consider`).  The cache is
         # framed copy-on-write per push so `pop` restores it exactly.
-        self._pair_verdicts: Dict[Tuple[Value, Value], Tuple] = {}
-        self._verdict_frames: List[Dict[Tuple[Value, Value], Tuple]] = []
+        self._pair_verdicts: Dict[object, Tuple] = {}
+        self._verdict_frames: List[Dict[object, Tuple]] = []
+        # node -> pair keys whose verdict reads that node (the pair's target
+        # or one of its proto readers), registered when a verdict is first
+        # stored.  Inverts the invalidation: a push walks dirty-node buckets
+        # instead of filtering the whole verdict cache per push.  Entries
+        # are never removed -- a stale key just no-ops the pop below.
+        self._verdict_node_keys: Dict[str, set] = {}
+        # Keys with no proto skeleton (BOTTOM endpoints): no nodes to index
+        # them under, so they are conservatively dropped on every push.
+        self._volatile_keys: set = set()
         self._cp_state_version = -1
         self._asap: Dict[str, int] = {}
         self._to_sinks: Dict[str, float] = {}
@@ -123,6 +142,7 @@ class ReductionSession:
             "implied_skipped": 0,
             "evaluated_candidates": 0,
             "pair_verdicts_reused": 0,
+            "verdict_exact_regions": 0,
         }
         #: Monotonic per-stage accumulator for the candidate-pair scan; the
         #: saturation-side stages live on `IncrementalSaturation.timings`.
@@ -159,10 +179,30 @@ class ReductionSession:
     # ------------------------------------------------------------------ #
     # Candidate evaluation (no copies)
     # ------------------------------------------------------------------ #
-    def _proto_edges(self, before: Value, after: Value) -> Tuple[Tuple[str, int], ...]:
+    def _pair_key(self, before: Value, after: Value) -> object:
+        """The cache key of an ordered pair: a flat int where possible.
+
+        Pairs of indexed mirror values key as ``ui * n + vi`` -- one machine
+        int instead of a tuple of frozen dataclasses, which is what the scan
+        fast path hashes millions of times.  Anything outside the index
+        (BOTTOM endpoints, foreign register types) keeps the tuple key; int
+        and tuple keys cannot collide in one dict.
+        """
+
+        vindex = self._vindex
+        ui = vindex.get(before.node)
+        vi = vindex.get(after.node)
+        if ui is None or vi is None:
+            return (before, after)
+        return ui * self._nvals + vi
+
+    def _proto_edges(
+        self, before: Value, after: Value, key: object = None
+    ) -> Tuple[Tuple[str, int], ...]:
         """The static (reader, latency) skeleton of the pair's serialization."""
 
-        key = (before, after)
+        if key is None:
+            key = self._pair_key(before, after)
         proto = self._proto_edges_cache.get(key)
         if proto is None:
             if before.rtype != after.rtype:
@@ -269,13 +309,14 @@ class ReductionSession:
         with more clock reads than remaining work.
         """
 
-        key = (before, after)
+        key = self._pair_key(before, after)
         verdict = self._pair_verdicts.get(key)
         if verdict is not None:
             self.stats["pair_verdicts_reused"] += 1
         else:
-            verdict = self._consider_fresh(before, after)
+            verdict = self._consider_fresh(before, after, key)
             self._pair_verdicts[key] = verdict
+            self._register_verdict_key(key, after)
         if verdict is self._V_IMPLIED:
             self.stats["implied_skipped"] += 1
             return self.IMPLIED
@@ -285,12 +326,87 @@ class ReductionSession:
         self._refresh_cp_state()
         return int(max(self._cp, x)) - base_cp, arc_count, payload
 
+    def scan(self, saturating, base_cp: int) -> Tuple[Optional[Tuple], int]:
+        """One full candidate-pair scan, inlined (the driver fast path).
+
+        Evaluates every ordered pair of *saturating* values through the
+        verdict cache exactly as per-pair :meth:`consider` calls would, but
+        with the pair keys, the critical-path refresh, and the stats
+        bookkeeping hoisted out of the quadratic loop.  Returns
+        ``(best, implied_count)`` where *best* is
+        ``((cp_increase, arc_count), payload)`` for the winning pair under
+        the same strict lexicographic order the generic driver loop used, or
+        None when no pair is applicable.
+        """
+
+        verdicts = self._pair_verdicts
+        vindex = self._vindex
+        n = self._nvals
+        implied = self._V_IMPLIED
+        none = self._V_NONE
+        fresh = self._consider_fresh
+        register = self._register_verdict_key
+        reused = 0
+        implied_count = 0
+        best_key: Optional[Tuple[int, int]] = None
+        best: Optional[Tuple] = None
+        self._refresh_cp_state()
+        cp = self._cp
+        indexed = [(v, vindex.get(v.node)) for v in saturating]
+        for u, ui in indexed:
+            base = ui * n if ui is not None else None
+            for v, vi in indexed:
+                if u == v:
+                    continue
+                if base is not None and vi is not None:
+                    key: object = base + vi
+                else:
+                    key = (u, v)
+                verdict = verdicts.get(key)
+                if verdict is None:
+                    verdict = fresh(u, v, key)
+                    verdicts[key] = verdict
+                    register(key, v)
+                else:
+                    reused += 1
+                if verdict is implied:
+                    implied_count += 1
+                    continue
+                if verdict is none:
+                    continue
+                _, x, arc_count, payload = verdict
+                inc = int(x if x > cp else cp) - base_cp
+                if best_key is None or (inc, arc_count) < best_key:
+                    best_key = (inc, arc_count)
+                    best = (best_key, payload)
+        self.stats["pair_verdicts_reused"] += reused
+        self.stats["implied_skipped"] += implied_count
+        return best, implied_count
+
+    def _register_verdict_key(self, key: object, after: Value) -> None:
+        """Index a freshly stored verdict under the nodes it reads."""
+
+        proto = self._proto_edges_cache.get(key)
+        if proto is None:
+            self._volatile_keys.add(key)
+            return
+        index = self._verdict_node_keys
+        bucket = index.get(after.node)
+        if bucket is None:
+            bucket = index[after.node] = set()
+        bucket.add(key)
+        for reader, _latency in proto:
+            bucket = index.get(reader)
+            if bucket is None:
+                bucket = index[reader] = set()
+            bucket.add(key)
+
     def record_scan_time(self, seconds: float) -> None:
         """Accumulate one iteration's candidate-scan wall clock (stage timer)."""
 
         self.timings["pair_scan"] += seconds
 
-    def _consider_fresh(self, before: Value, after: Value) -> Tuple:
+    def _consider_fresh(self, before: Value, after: Value, key: object = None) -> Tuple:
         """Evaluate one pair cold; returns the cacheable verdict tuple.
 
         Because all of the pair's arcs end at the same target, the extended
@@ -301,7 +417,7 @@ class ReductionSession:
 
         if after.node == BOTTOM or before.node == BOTTOM:
             return self._V_NONE
-        proto = self._proto_edges(before, after)
+        proto = self._proto_edges(before, after, key)
         if not proto:
             return self._V_NONE
         target = after.node
@@ -312,8 +428,10 @@ class ReductionSession:
             if target not in desc[reader]:
                 break
         else:
+            analysis = self._analysis
+            tid = analysis.op_id(target)
             for reader, latency in proto:
-                if self.lp_row(reader)[target] < latency:
+                if analysis.row_by_name(reader)[tid] < latency:
                     break
             else:
                 return self._V_IMPLIED
@@ -359,21 +477,27 @@ class ReductionSession:
         assert self._analysis.remains_acyclic_with_edges(edges), (
             f"serializing {self.ddg.name!r} must keep the DDG acyclic"
         )
+        pre_sinks = (
+            self._to_sinks if self._cp_state_version == self.ddg.version else None
+        )
         self._saturation.push(edges)
         self.stats["pushes"] += 1
-        self._invalidate_verdicts()
+        self._invalidate_verdicts(pre_sinks)
 
-    def _invalidate_verdicts(self) -> None:
+    def _invalidate_verdicts(self, pre_sinks: Optional[Dict[str, float]]) -> None:
         """Frame the pair-verdict cache and drop the dirty region.
 
         Applied arcs (read off the working analysis' undo frame; no-op
         pushes dirty nothing) can move a pair's verdict only through nodes
-        in ``{dst} ∪ desc(dst) ∪ anc(src)``: the target's ASAP window and
-        descendant set change only below the arc, the readers' ASAP times
-        only below it, and path-length / reachability answers involving the
-        arc require reaching its source.  Pairs whose target and proto
-        readers all avoid that region provably keep last iteration's
-        verdict.
+        in ``{dst} ∪ desc(dst)`` per arc plus the nodes whose longest path
+        to the sinks changed: the target's ASAP window, its descendant set,
+        and every longest path *into* it change only at-or-below the arc,
+        while the only upstream input a verdict reads is
+        ``to_sinks[target]``.  When *pre_sinks* (the pre-push sink-distance
+        map) is warm we diff it against the post-push map, which is the
+        exact affected set; a cold map falls back to the conservative
+        ``anc(src)`` superset.  Pairs whose target and proto readers all
+        avoid the region provably keep last iteration's verdict.
         """
 
         old = self._pair_verdicts
@@ -387,16 +511,28 @@ class ReductionSession:
         for record in frame.records:
             dirty.add(record.edge.dst)
             dirty |= desc[record.edge.dst]
-            dirty |= self._analysis.ancestors_incl(record.edge.src)
-        proto_cache = self._proto_edges_cache
-        kept: Dict[Tuple[Value, Value], Tuple] = {}
-        for key, verdict in old.items():
-            if key[1].node in dirty:
-                continue
-            proto = proto_cache.get(key)
-            if proto is None or any(reader in dirty for reader, _ in proto):
-                continue
-            kept[key] = verdict
+        if pre_sinks is None:
+            for record in frame.records:
+                dirty |= self._analysis.ancestors_incl(record.edge.src)
+        else:
+            self._refresh_cp_state()
+            for node, dist in self._to_sinks.items():
+                if pre_sinks[node] != dist:
+                    dirty.add(node)
+            self.stats["verdict_exact_regions"] += 1
+        # Inverted filter: walk the dirty nodes' key buckets instead of
+        # testing every cached verdict -- same retention (a key is indexed
+        # under exactly its target and proto readers; proto-less keys are
+        # volatile), O(|dirty| + dropped) instead of O(|cache|).
+        kept = dict(old)
+        for key in self._volatile_keys:
+            kept.pop(key, None)
+        index = self._verdict_node_keys
+        for node in dirty:
+            keys = index.get(node)
+            if keys:
+                for key in keys:
+                    kept.pop(key, None)
         self._pair_verdicts = kept
 
     def pop(self) -> None:

@@ -108,6 +108,7 @@ def disjoint_value_dag(
     }
 
     edges: Set[Tuple[Value, Value]] = set()
+    delta_w = {v: ddg.operation(v.node).delta_w for v in values}
     for u in values:
         killer = kf.killer(u)
         if killer is None:
@@ -126,7 +127,7 @@ def disjoint_value_dag(
             dist = reach[v.node]
             if dist == NEG_INF:
                 continue
-            if dist >= killer_read - ddg.operation(v.node).delta_w:
+            if dist >= killer_read - delta_w[v]:
                 edges.add((u, v))
 
     closure = transitive_closure_of_relation(values, edges)

@@ -182,11 +182,45 @@ def _component_signature(
     )
 
 
+def _signature_entry_matches(
+    entry: Tuple,
+    comp_values: Sequence[Value],
+    comp_killers: Sequence[str],
+    pk: Mapping[Value, List[str]],
+    desc_values: Mapping[str, FrozenSet[str]],
+) -> bool:
+    """Identity-validated equality of a component against a cached entry.
+
+    The incremental engine maintains ``pk`` and the killer-descendant sets
+    copy-on-write: an untouched component keeps the *same* row/set objects
+    across iterations (and gets the old objects back on pop), so object
+    identity of those inputs -- plus list equality of the component's
+    values, which CPython resolves by pointer comparison for the shared
+    ``Value`` objects -- proves the full signature would be equal without
+    rebuilding and hashing it.  Only components in the push's dirty region
+    fail here and pay the `_component_signature` hash.  An identity miss on
+    equal content is merely a slow path, never an error.
+    """
+
+    cached_values, cached_pk, cached_desc, _ = entry
+    if cached_values != comp_values:
+        return False
+    for v, row in zip(comp_values, cached_pk):
+        if pk[v] is not row:
+            return False
+    # comp_killers equality is implied by the cache key (the killer tuple).
+    for k, d in zip(comp_killers, cached_desc):
+        if desc_values[k] is not d:
+            return False
+    return True
+
+
 def greedy_killing_function(
     ddg: DDG,
     rtype: RegisterType | str,
     ctx: Optional[AnalysisContext] = None,
     killing_set_cache: Optional[MutableMapping] = None,
+    signature_cache: Optional[MutableMapping] = None,
 ) -> KillingFunction:
     """The killing function selected by the Greedy-k heuristic (before fallback).
 
@@ -194,7 +228,11 @@ def greedy_killing_function(
     chosen killing sets; it never changes the result (the choice is a pure
     function of the signature) but lets the incremental reduction engine
     skip the exhaustive subset search for components untouched by the last
-    serialization.
+    serialization.  *signature_cache* is an optional identity-validated
+    front cache over it (see :func:`_signature_entry_matches`) that also
+    skips building and hashing the signature tuples for clean components --
+    hashing work then scales with the push's dirty region instead of with
+    the component count.
     """
 
     rtype = canonical_type(rtype)
@@ -216,16 +254,37 @@ def greedy_killing_function(
 
     mapping: Dict[Value, str] = {}
     for comp_values, comp_killers in _bipartite_components(pk):
-        if killing_set_cache is not None:
-            signature = _component_signature(comp_values, comp_killers, pk, desc_values)
-            killing_set = killing_set_cache.get(signature)
-            if killing_set is None:
+        killing_set = None
+        ckey: Optional[Tuple[str, ...]] = None
+        if signature_cache is not None:
+            ckey = tuple(comp_killers)
+            entry = signature_cache.get(ckey)
+            if entry is not None and _signature_entry_matches(
+                entry, comp_values, comp_killers, pk, desc_values
+            ):
+                killing_set = entry[3]
+        if killing_set is None:
+            if killing_set_cache is not None:
+                signature = _component_signature(
+                    comp_values, comp_killers, pk, desc_values
+                )
+                killing_set = killing_set_cache.get(signature)
+                if killing_set is None:
+                    killing_set = _choose_killing_set(
+                        comp_values, comp_killers, pk, desc_values
+                    )
+                    killing_set_cache[signature] = killing_set
+            else:
                 killing_set = _choose_killing_set(
                     comp_values, comp_killers, pk, desc_values
                 )
-                killing_set_cache[signature] = killing_set
-        else:
-            killing_set = _choose_killing_set(comp_values, comp_killers, pk, desc_values)
+            if signature_cache is not None:
+                signature_cache[ckey] = (
+                    comp_values,
+                    [pk[v] for v in comp_values],
+                    [desc_values[k] for k in comp_killers],
+                    killing_set,
+                )
         killing_set_set = set(killing_set)
         for value in comp_values:
             candidates = [k for k in pk[value] if k in killing_set_set]
@@ -288,6 +347,7 @@ def greedy_saturation(
     ctx: Optional[AnalysisContext] = None,
     killing_set_cache: Optional[MutableMapping] = None,
     candidate_evaluator=None,
+    signature_cache: Optional[MutableMapping] = None,
 ) -> SaturationResult:
     """Approximate the register saturation ``RS_t(G)`` with the Greedy-k heuristic.
 
@@ -319,6 +379,9 @@ def greedy_saturation(
         killed graph).  The incremental reduction engine supplies its warm
         per-candidate DV states here; the hook must return exactly what the
         built-in path would.
+    signature_cache:
+        Optional identity-validated front cache over *killing_set_cache*
+        (see :func:`greedy_killing_function`); speed only, never the result.
 
     Returns
     -------
@@ -334,7 +397,13 @@ def greedy_saturation(
     return ctx.memo(
         ("greedy_saturation", rtype, extra_candidates),
         lambda: _greedy_saturation_uncached(
-            ddg, rtype, extra_candidates, ctx, killing_set_cache, candidate_evaluator
+            ddg,
+            rtype,
+            extra_candidates,
+            ctx,
+            killing_set_cache,
+            candidate_evaluator,
+            signature_cache,
         ),
         # Cross-run tier (inert unless a result store is active): the result
         # is a deterministic function of graph content + these parameters --
@@ -353,6 +422,7 @@ def _greedy_saturation_uncached(
     ctx: AnalysisContext,
     killing_set_cache: Optional[MutableMapping] = None,
     candidate_evaluator=None,
+    signature_cache: Optional[MutableMapping] = None,
 ) -> SaturationResult:
     start = time.perf_counter()
     bottom_ctx = ctx.bottom()
@@ -363,7 +433,11 @@ def _greedy_saturation_uncached(
 
     candidates: List[Tuple[str, KillingFunction]] = []
     greedy_kf = greedy_killing_function(
-        g, rtype, ctx=bottom_ctx, killing_set_cache=killing_set_cache
+        g,
+        rtype,
+        ctx=bottom_ctx,
+        killing_set_cache=killing_set_cache,
+        signature_cache=signature_cache,
     )
     candidates.append(("greedy-k", greedy_kf))
     if extra_candidates:

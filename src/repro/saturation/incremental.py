@@ -17,31 +17,55 @@ reachability and longest paths, and only around the new arcs' endpoints:
 
 Everything outside that dirty region provably cannot change, so the classes
 below mutate one working DDG in place (with undo) and patch the affected
-entries, sharing every untouched set/row with the previous iteration.  The
-patched analyses are injected into the graph's fresh
-:class:`~repro.analysis.context.AnalysisContext` epoch through
-:meth:`~repro.analysis.context.AnalysisContext.memo`, so the existing
+entries, sharing every untouched set/row with the previous iteration.
+
+**Flat-array core.** The hot state lives on integer op ids handed out by the
+per-graph :class:`~repro.analysis.interner.OpInterner` (stable across graph
+revisions -- only arcs change, never the node set): longest-path rows are
+flat ``List[float]`` buffers indexed by op id instead of name-keyed dicts,
+killer/DV state is bitmask rows over the same id space (no str↔bit
+translation left on the sync path between the killed mirrors and
+:class:`~repro.analysis.antichain.PersistentAntichain`), undo frames hold
+slice copies of flat buffers (a ``list.copy`` memcpy instead of dict
+rebuilds), and row patching is a whole-row max-merge over arrays.  The
+conversion is internal: every string-facing boundary (descendant maps,
+pkill, reports) is unchanged, and the patched analyses injected into the
+graph's fresh :class:`~repro.analysis.context.AnalysisContext` epoch through
+:meth:`~repro.analysis.context.AnalysisContext.memo` keep the existing
 Greedy-k code path (:mod:`repro.saturation.greedy`, :mod:`.pkill`,
-:mod:`.dvk`) runs unchanged on warm state and returns results identical to a
-from-scratch run -- the property tests in
-``tests/test_reduction_incremental.py`` pin exactly that.
+:mod:`.dvk`) returning results identical to a from-scratch run -- the
+property tests in ``tests/test_reduction_incremental.py`` and
+``tests/test_flatcore.py`` pin exactly that.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, MutableMapping, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..analysis import graphalgo
 from ..analysis.antichain import PersistentAntichain, antichain_indices_from_rows
 from ..analysis.context import context_for
+from ..analysis.interner import OpInterner
 from ..core.graph import DDG, Edge
 from ..core.types import DependenceKind, RegisterType, Value, canonical_type
 from ..scheduling.list_scheduler import IncrementalListSchedule
 from .result import SaturationResult
 
 __all__ = ["IncrementalAnalysis", "IncrementalSaturation"]
+
+_NEG_INF = graphalgo.NEG_INF
 
 
 @dataclass
@@ -64,11 +88,13 @@ class _AnalysisFrame:
     records: List[_AppliedArc] = field(default_factory=list)
     desc_incl: Optional[Dict[str, Set[str]]] = None
     desc_excl: Optional[Dict[str, Set[str]]] = None
-    lp_rows: Optional[Dict[str, Dict[str, float]]] = None
-    #: Warm rows whose entries grew during this push: src -> changed targets.
-    #: Consumers (the DV-DAG dirty-region update) use it to recheck exactly
-    #: the pairs whose longest path moved.
-    lp_changes: Dict[str, Set[str]] = field(default_factory=dict)
+    lp_rows: Optional[Dict[int, List[float]]] = None
+    #: Warm rows whose entries grew during this push: src id -> changed
+    #: target ids (possibly with duplicates when several arcs moved the same
+    #: entry; consumers fold them through idempotent bit ORs).  The DV-DAG
+    #: dirty-region update uses it to recheck exactly the pairs whose
+    #: longest path moved.
+    lp_changes: Dict[int, List[int]] = field(default_factory=dict)
 
 
 class IncrementalAnalysis:
@@ -78,28 +104,59 @@ class IncrementalAnalysis:
     API (every push/pop bumps ``DDG.version``, keeping the shared
     :class:`AnalysisContext` honest), while descendant maps and longest-path
     rows are patched copy-on-write: unchanged sets/rows are shared with the
-    previous epoch, so an undo frame is just a handful of dict references.
-    Instances are not thread-safe; they are meant to back one reduction
-    session at a time.
+    previous epoch, so an undo frame is just a handful of references.
+    Longest-path rows are flat op-id-indexed buffers (see the module
+    docstring); *interner* accepts a shared
+    :class:`~repro.analysis.interner.OpInterner` so sibling analyses over
+    copies of the same graph (the candidate killed mirrors) agree on every
+    id.  Instances are not thread-safe; they are meant to back one
+    reduction session at a time.
     """
 
-    def __init__(self, ddg: DDG, track_reachability: bool = True) -> None:
+    def __init__(
+        self,
+        ddg: DDG,
+        track_reachability: bool = True,
+        interner: Optional[OpInterner] = None,
+    ) -> None:
         self._g = ddg
         self._track_reachability = track_reachability
+        if interner is None:
+            interner = OpInterner(ddg.nodes())
+        else:
+            for name in ddg.nodes():
+                interner.intern(name)
+        self._interner = interner
+        self._n = interner.size
         self._desc_incl: Optional[Dict[str, Set[str]]] = None
         self._desc_excl: Optional[Dict[str, Set[str]]] = None
-        self._lp_rows: Dict[str, Dict[str, float]] = {}
+        self._lp_rows: Dict[int, List[float]] = {}
         self._frames: List[_AnalysisFrame] = []
+        #: Flat out-adjacency, op id -> [(dst id, latency), ...], cached per
+        #: revision; the row kernel below relaxes over machine ints only.
+        #: push/pop maintain it in place, so only out-of-band graph surgery
+        #: (the candidate patch path) forces a full rebuild.
+        self._adj: List[List[Tuple[int, int]]] = []
+        self._adj_version = -1
 
     @property
     def ddg(self) -> DDG:
         return self._g
 
     @property
+    def interner(self) -> OpInterner:
+        return self._interner
+
+    @property
     def depth(self) -> int:
         """Number of push frames currently on the undo stack."""
 
         return len(self._frames)
+
+    def op_id(self, name: str) -> int:
+        """The interned op id of *name*."""
+
+        return self._interner.id(name)
 
     # ------------------------------------------------------------------ #
     # Warm queries
@@ -118,19 +175,90 @@ class IncrementalAnalysis:
         self._ensure_desc()
         return self._desc_excl  # type: ignore[return-value]
 
-    def lp_row(self, src: str) -> Dict[str, float]:
-        """Exact longest-path row from *src* (lazily computed, kept warm)."""
+    def _adj_pairs(self) -> List[List[Tuple[int, int]]]:
+        version = self._g.version
+        if self._adj_version != version:
+            iid = self._interner.id
+            adj: List[List[Tuple[int, int]]] = [[] for _ in range(self._n)]
+            g = self._g
+            for name in g.nodes():
+                out = adj[iid(name)]
+                for e in g.out_edges(name):
+                    out.append((iid(e.dst), e.latency))
+            self._adj = adj
+            self._adj_version = version
+        return self._adj
 
-        row = self._lp_rows.get(src)
+    def _compute_row_flat(self, src_id: int) -> List[float]:
+        """Flat longest-path row from *src_id* (graphalgo semantics, id space).
+
+        One iterative DFS builds the reverse postorder of the subgraph
+        reachable from *src_id* -- a topological order of exactly the nodes
+        the row can mention -- and one relaxation pass over it fills the
+        distances.  No shared whole-graph topological sort is consulted, so
+        arc pushes on the killed mirrors never force an O(V+E) re-sort just
+        to answer the next row.
+        """
+
+        adj = self._adj_pairs()
+        dist: List[float] = [_NEG_INF] * self._n
+        dist[src_id] = 0
+        visited = bytearray(self._n)
+        visited[src_id] = 1
+        order: List[int] = []
+        stack: List[List[int]] = [[src_id, 0]]
+        while stack:
+            frame = stack[-1]
+            nid = frame[0]
+            out = adj[nid]
+            i = frame[1]
+            if i < len(out):
+                frame[1] = i + 1
+                child = out[i][0]
+                if not visited[child]:
+                    visited[child] = 1
+                    stack.append([child, 0])
+            else:
+                stack.pop()
+                order.append(nid)
+        for nid in reversed(order):
+            d = dist[nid]
+            if d == _NEG_INF:
+                continue
+            for ni, w in adj[nid]:
+                nd = d + w
+                if nd > dist[ni]:
+                    dist[ni] = nd
+        return dist
+
+    def row(self, src_id: int) -> List[float]:
+        """Exact flat longest-path row from op *src_id* (kept warm)."""
+
+        row = self._lp_rows.get(src_id)
         if row is None:
-            row = graphalgo.longest_paths_from(
-                self._g, src, order=context_for(self._g).topological_order()
-            )
-            self._lp_rows[src] = row
+            row = self._compute_row_flat(src_id)
+            self._lp_rows[src_id] = row
         return row
 
-    def _transient_row(self, src: str) -> Dict[str, float]:
-        """A row for one-shot use that must NOT join the warm set.
+    def row_by_name(self, src: str) -> List[float]:
+        """Flat warm row from the operation named *src*."""
+
+        return self.row(self._interner.id(src))
+
+    def lp_row(self, src: str) -> Dict[str, float]:
+        """Exact longest-path row from *src* as a name-keyed dict.
+
+        Boundary API for string-facing callers and the property tests; the
+        underlying flat row (:meth:`row`) is computed lazily and kept warm,
+        the dict view is built per call.  Hot paths use :meth:`row` /
+        :meth:`row_by_name` instead.
+        """
+
+        row = self.row(self._interner.id(src))
+        return dict(zip(self._interner.names(), row))
+
+    def _transient_row_flat(self, src_id: int) -> List[float]:
+        """A flat row for one-shot use that must NOT join the warm set.
 
         Every cached row is patched on every subsequent push; rows needed
         only once (the continuation row of a pushed arc's destination) would
@@ -138,12 +266,16 @@ class IncrementalAnalysis:
         unboundedly over a long reduction run.
         """
 
-        row = self._lp_rows.get(src)
+        row = self._lp_rows.get(src_id)
         if row is not None:
             return row
-        return graphalgo.longest_paths_from(
-            self._g, src, order=context_for(self._g).topological_order()
-        )
+        return self._compute_row_flat(src_id)
+
+    def _transient_row(self, src: str) -> Dict[str, float]:
+        """Name-keyed view of :meth:`_transient_row_flat` (boundary/compat)."""
+
+        row = self._transient_row_flat(self._interner.id(src))
+        return dict(zip(self._interner.names(), row))
 
     def remains_acyclic_with_edges(self, edges) -> bool:
         return graphalgo.mini_graph_remains_acyclic(
@@ -185,15 +317,22 @@ class IncrementalAnalysis:
     # Backwards-compatible alias (pre-PR-5 internal name).
     _ancestors_incl = ancestors_incl
 
-    def evict_row(self, src: str) -> None:
-        """Drop the cached longest-path row from *src* (recomputed on demand).
+    def evict_row_id(self, src_id: int) -> None:
+        """Drop the cached flat row from op *src_id* (recomputed on demand).
 
         The candidate-patch path uses this for rows its validity criterion
         cannot prove unchanged; the undo frames are unaffected because every
         push replaces the top-level row dict copy-on-write.
         """
 
-        self._lp_rows.pop(src, None)
+        self._lp_rows.pop(src_id, None)
+
+    def evict_row(self, src: str) -> None:
+        """Name-keyed form of :meth:`evict_row_id`."""
+
+        src_id = self._interner.get(src)
+        if src_id is not None:
+            self._lp_rows.pop(src_id, None)
 
     def rebase(self) -> None:
         """Drop the undo stack, making the current state the new baseline.
@@ -227,6 +366,7 @@ class IncrementalAnalysis:
             self._desc_incl = dict(self._desc_incl)  # type: ignore[arg-type]
             self._desc_excl = dict(self._desc_excl)  # type: ignore[arg-type]
         self._lp_rows = dict(self._lp_rows)
+        iid = self._interner.id
 
         for edge in edges:
             duplicate = self._find_duplicate(edge)
@@ -235,30 +375,57 @@ class IncrementalAnalysis:
             # The row from the arc's destination is identical before and
             # after the insertion (dst cannot reach src in a DAG), and it is
             # exactly the continuation every updated row needs.
-            row_dst = self._transient_row(edge.dst)
+            dst_id = iid(edge.dst)
+            src_id = iid(edge.src)
+            row_dst = self._transient_row_flat(dst_id)
+            adj_fresh = self._adj_version == self._g.version
             self._g.add_edge(edge)
+            # Maintain the flat adjacency through the mutation instead of
+            # rebuilding it on the next row computation: the arc adds (or
+            # re-weights) exactly one (dst, latency) pair.
+            if adj_fresh:
+                pairs = self._adj[src_id]
+                if duplicate is None:
+                    pairs.append((dst_id, edge.latency))
+                else:
+                    pairs[pairs.index((dst_id, duplicate.latency))] = (
+                        dst_id,
+                        edge.latency,
+                    )
+                self._adj_version = self._g.version
 
             # Longest-path rows: lp'(x, y) = max(lp(x, y), lp(x, src)+w+lp(dst, y)).
+            # The reachable continuation entries are hoisted once per arc;
+            # each affected row is then a whole-row max-merge whose first
+            # improvement triggers one memcpy-cheap list copy.
             w = edge.latency
-            for src, row in list(self._lp_rows.items()):
-                base = row[edge.src]
-                if base == graphalgo.NEG_INF:
+            finite = [
+                (y, dv) for y, dv in enumerate(row_dst) if dv != _NEG_INF
+            ]
+            for sid, row in list(self._lp_rows.items()):
+                base = row[src_id]
+                if base == _NEG_INF:
                     continue
-                patched: Optional[Dict[str, float]] = None
-                changed: List[str] = []
-                for y, dv in row_dst.items():
-                    if dv == graphalgo.NEG_INF:
-                        continue
-                    cand = base + w + dv
-                    current = row if patched is None else patched
-                    if cand > current[y]:
-                        if patched is None:
-                            patched = dict(row)
+                shift = base + w
+                patched: Optional[List[float]] = None
+                changed: Optional[List[int]] = None
+                for y, dv in finite:
+                    cand = shift + dv
+                    if patched is None:
+                        if cand > row[y]:
+                            patched = row.copy()
+                            patched[y] = cand
+                            changed = [y]
+                    elif cand > patched[y]:
                         patched[y] = cand
-                        changed.append(y)
+                        changed.append(y)  # type: ignore[union-attr]
                 if patched is not None:
-                    self._lp_rows[src] = patched
-                    frame.lp_changes.setdefault(src, set()).update(changed)
+                    self._lp_rows[sid] = patched
+                    previous = frame.lp_changes.get(sid)
+                    if previous is None:
+                        frame.lp_changes[sid] = changed  # type: ignore[assignment]
+                    else:
+                        previous.extend(changed)  # type: ignore[arg-type]
 
             ancestors: Optional[Set[str]] = None
             addition: Optional[FrozenSet[str]] = None
@@ -286,10 +453,24 @@ class IncrementalAnalysis:
         if not self._frames:
             raise IndexError("no pushed serialization frame to pop")
         frame = self._frames.pop()
+        iid = self._interner.id
         for record in reversed(frame.records):
+            adj_fresh = self._adj_version == self._g.version
             self._g.remove_edge(record.edge)
             if record.replaced is not None:
                 self._g.add_edge(record.replaced)
+            if adj_fresh:
+                edge = record.edge
+                pairs = self._adj[iid(edge.src)]
+                dst_id = iid(edge.dst)
+                if record.replaced is None:
+                    pairs.remove((dst_id, edge.latency))
+                else:
+                    pairs[pairs.index((dst_id, edge.latency))] = (
+                        dst_id,
+                        record.replaced.latency,
+                    )
+                self._adj_version = self._g.version
         self._desc_incl = frame.desc_incl
         self._desc_excl = frame.desc_excl
         self._lp_rows = frame.lp_rows
@@ -322,15 +503,16 @@ class _CandidateFrame:
     """Undo record of one sync() on a candidate DV state.
 
     One frame is appended per :meth:`_CandidateDVState.sync` call (even for
-    early-returned no-ops) so the frame stack stays in lock-step with the
-    owning :class:`IncrementalSaturation`'s push depth; popping replays it.
+    early-returned no-ops) so the materialised frames plus the deferred
+    pending pushes stay in lock-step with the owning
+    :class:`IncrementalSaturation`'s push depth; popping replays it.
     """
 
     was_cyclic: bool
     analysis_pushed: bool = False
     engine_pushed: bool = False
     #: The pre-push killer-bits dict (copy-on-write), or None when untouched.
-    bits: Optional[Dict[str, int]] = None
+    bits: Optional[Dict[int, int]] = None
 
 
 class _CandidateDVState:
@@ -347,14 +529,21 @@ class _CandidateDVState:
     value) pairs whose longest-path entry actually moved (reported by the
     mirror's patch log).
 
-    The monotone growth is exactly what the persistent antichain engine
-    (:class:`~repro.analysis.antichain.PersistentAntichain`) needs: the DV
-    closure is kept as a running family of bitsets and the maximum matching
-    survives every sync, so the per-iteration antichain costs an incremental
-    repair instead of a from-scratch Kahn + closure + Hopcroft--Karp solve.
-    Each sync opens an undo frame (killed-mirror push, engine push,
-    copy-on-write killer bits), so the state also survives the owning
-    session's pop instead of being discarded and rebuilt.
+    All per-op state is keyed by the op ids of the *bottom mirror's*
+    interner (shared with the killed mirror -- a copy of the bottom graph
+    interns identically, see :class:`~repro.analysis.interner.OpInterner`),
+    so the lp → DV-bit threshold scans and the
+    :class:`~repro.analysis.antichain.PersistentAntichain` feed run entirely
+    in id/bitset space with no string translation.
+
+    Base-graph pushes are mirrored *lazily*: :meth:`defer_sync` queues the
+    arcs and :meth:`ensure_synced` replays them in order only when the
+    candidate is actually evaluated (or must be patched); a state that is
+    instead rebuilt -- or popped before evaluation -- never pays for the
+    mirror push at all (counted as ``dv_syncs_skipped``).  Each performed
+    sync opens an undo frame (killed-mirror push, engine push, copy-on-write
+    killer bits), so the state also survives the owning session's pop
+    instead of being discarded and rebuilt.
 
     The DV condition ``lp(k(u), v) >= delta_r(k(u)) - delta_w(v)`` depends
     on ``u`` only through its killer, so values sharing a killer share the
@@ -371,6 +560,8 @@ class _CandidateDVState:
         self._values = values
         self._node_index = node_index
         self._delta_w = delta_w
+        #: delta_w as a flat list over value indices (the hot threshold scan).
+        self._dw: List[int] = [delta_w[i] for i in range(len(values))]
         self._stats = stats
         self.valid = False
         self.cyclic = False
@@ -378,37 +569,75 @@ class _CandidateDVState:
         self._pk_ref: Optional[Mapping[Value, List[str]]] = None
         self._pk_lists: Dict[Value, List[str]] = {}
         self.analysis: Optional[IncrementalAnalysis] = None
-        self._killer_read: Dict[str, int] = {}
-        self._killer_bits: Dict[str, int] = {}
-        self._killer_of: List[Optional[str]] = []
-        self._killer_values: Dict[str, List[int]] = {}
-        #: (other, killer) -> number of values contributing that killing arc.
-        #: The arc's latency is a pure function of the pair, so the count is
-        #: all the patch path needs to merge/unmerge the killed graph's
-        #: serial slots exactly like `killed_graph`'s add_edge calls did.
-        self._arc_refs: Dict[Tuple[str, str], int] = {}
+        self._interner: Optional[OpInterner] = None
+        #: op id -> value index (or -1), and its inverse over value indices.
+        self._opid_value: List[int] = []
+        self._value_opid: List[int] = []
+        self._killer_read: Dict[int, int] = {}
+        self._killer_bits: Dict[int, int] = {}
+        self._killer_of: List[Optional[int]] = []
+        self._killer_values: Dict[int, List[int]] = {}
+        #: (other id, killer id) -> number of values contributing that
+        #: killing arc.  The arc's latency is a pure function of the pair,
+        #: so the count is all the patch path needs to merge/unmerge the
+        #: killed graph's serial slots exactly like `killed_graph`'s
+        #: add_edge calls did.
+        self._arc_refs: Dict[Tuple[int, int], int] = {}
         self._engine: Optional[PersistentAntichain] = None
         self._sync_frames: List[_CandidateFrame] = []
+        #: Deferred base-graph pushes not yet mirrored (newest last; always
+        #: newer than every materialised sync frame).
+        self._pending: List[List[Edge]] = []
         self.rebuild_count = 0
 
     @staticmethod
-    def _killing_arc_refs(kf, pk: Mapping[Value, List[str]]) -> Dict[Tuple[str, str], int]:
-        """Refcounted (other, killer) slots exactly as `killed_graph` adds them."""
+    def _killing_arc_refs(
+        kf, pk: Mapping[Value, List[str]], op_id: Callable[[str], int]
+    ) -> Dict[Tuple[int, int], int]:
+        """Refcounted (other, killer) id slots exactly as `killed_graph` adds them."""
 
-        refs: Dict[Tuple[str, str], int] = {}
-        for value, killer in kf.mapping.items():
-            for other in pk.get(value, []):
-                if other != killer:
-                    slot = (other, killer)
-                    refs[slot] = refs.get(slot, 0) + 1
+        from .pkill import killing_arc_slots  # local: avoids import cycle
+
+        refs: Dict[Tuple[int, int], int] = {}
+        for other, killer in killing_arc_slots(kf, pk):
+            slot = (op_id(other), op_id(killer))
+            refs[slot] = refs.get(slot, 0) + 1
         return refs
+
+    def _note_skipped(self, count: int) -> None:
+        if count and self._stats is not None:
+            self._stats["dv_syncs_skipped"] = (
+                self._stats.get("dv_syncs_skipped", 0) + count
+            )
+
+    def defer_sync(self, edges: List[Edge]) -> None:
+        """Queue a base-graph push to be mirrored on first evaluation."""
+
+        self._pending.append(edges)
+
+    def ensure_synced(self) -> None:
+        """Replay the deferred pushes (in order) through :meth:`sync`."""
+
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for edges in pending:
+            self.sync(edges)
+
+    @property
+    def patchable(self) -> bool:
+        """Whether :meth:`patch` has a warm prior state to re-target."""
+
+        return self.valid and not self.cyclic and self.analysis is not None
 
     def matches(self, kf, pk: Mapping[Value, List[str]]) -> bool:
         """Whether the stored state is exactly this killing function's.
 
         The killed graph's arcs depend on the killing function *and* on the
         potential-killers lists of its values (the arcs come from the other
-        potential killers), so both must be unchanged for reuse.
+        potential killers), so both must be unchanged for reuse.  Deferred
+        syncs do not matter here: they carry graph arcs, not killing-choice
+        state.
         """
 
         if not self.valid or self.kf_mapping != kf.mapping:
@@ -426,10 +655,17 @@ class _CandidateDVState:
 
         self.rebuild_count += 1
         self._sync_frames = []
+        # A rebuild bakes the base graph's current arcs into the fresh
+        # killed copy, so any still-deferred mirror pushes are moot.
+        self._note_skipped(len(self._pending))
+        self._pending = []
         self.kf_mapping = dict(kf.mapping)
         self._pk_ref = pk
         self._pk_lists = {value: pk.get(value, []) for value in kf.mapping}
-        self._arc_refs = self._killing_arc_refs(kf, pk)
+        interner = context_for(bottom_ddg).op_interner()
+        self._interner = interner
+        op_id = interner.id
+        self._arc_refs = self._killing_arc_refs(kf, pk, op_id)
         killed = killed_graph(bottom_ddg, kf, pk=pk)
         if not context_for(killed).is_acyclic():
             # An invalid killing function stays invalid: cycles survive
@@ -442,15 +678,27 @@ class _CandidateDVState:
             return
         self.cyclic = False
         # Reachability tracking is skipped: the sync's cycle test reads the
-        # arcs' target row instead of a descendant map.
-        self.analysis = IncrementalAnalysis(killed, track_reachability=False)
+        # arcs' target row instead of a descendant map.  The killed graph is
+        # a copy of the bottom mirror, so interning it into the mirror's
+        # interner changes nothing and the flat rows share the id space.
+        self.analysis = IncrementalAnalysis(
+            killed, track_reachability=False, interner=interner
+        )
+        opid_value = [-1] * interner.size
+        value_opid: List[int] = []
+        for j, v in enumerate(self._values):
+            vid = op_id(v.node)
+            value_opid.append(vid)
+            opid_value[vid] = j
+        self._opid_value = opid_value
+        self._value_opid = value_opid
         self._set_killer_structures(kf, killed)
-        bits: Dict[str, int] = {}
-        for killer in sorted(self._killer_read):
+        bits: Dict[int, int] = {}
+        for killer_id in sorted(self._killer_read):
             # Seeding every killer row here is what makes the sync exact:
             # the mirror patches cached rows and logs each change.
-            row = self.analysis.lp_row(killer)
-            bits[killer] = self._mask_from_row(row, self._killer_read[killer])
+            row = self.analysis.row(killer_id)
+            bits[killer_id] = self._mask_from_row(row, self._killer_read[killer_id])
         self._killer_bits = bits
         self._engine = PersistentAntichain(len(self._values), rows=self.dv_rows())
         self.valid = True
@@ -458,22 +706,30 @@ class _CandidateDVState:
     def _set_killer_structures(self, kf, killed: DDG) -> None:
         """(Re)derive killer assignment maps from *kf* (cheap, O(values))."""
 
-        self._killer_of = [kf.mapping.get(v) for v in self._values]
+        assert self._interner is not None
+        op_id = self._interner.id
+        killer_of: List[Optional[int]] = [None] * len(self._values)
         self._killer_values = {}
-        for i, killer in enumerate(self._killer_of):
-            if killer is not None:
-                self._killer_values.setdefault(killer, []).append(i)
-        killers = set(kf.mapping.values())
-        self._killer_read = {k: killed.operation(k).delta_r for k in killers}
+        for j, v in enumerate(self._values):
+            killer = kf.mapping.get(v)
+            if killer is None:
+                continue
+            kid = op_id(killer)
+            killer_of[j] = kid
+            self._killer_values.setdefault(kid, []).append(j)
+        self._killer_of = killer_of
+        self._killer_read = {
+            op_id(k): killed.operation(k).delta_r for k in set(kf.mapping.values())
+        }
 
-    def _mask_from_row(self, row: Mapping[str, float], read: int) -> int:
-        """The killer's DV bitset from its longest-path row (threshold test)."""
+    def _mask_from_row(self, row: List[float], read: int) -> int:
+        """The killer's DV bitset from its flat longest-path row (threshold test)."""
 
         mask = 0
-        delta_w = self._delta_w
-        for j, v in enumerate(self._values):
-            dist = row[v.node]
-            if dist != graphalgo.NEG_INF and dist >= read - delta_w[j]:
+        dw = self._dw
+        for j, vid in enumerate(self._value_opid):
+            dist = row[vid]
+            if dist != _NEG_INF and dist >= read - dw[j]:
                 mask |= 1 << j
         return mask
 
@@ -510,16 +766,25 @@ class _CandidateDVState:
 
         if not self.valid or self.cyclic or self.analysis is None:
             return False
+        # The slot diff below compares against the *current* bottom mirror,
+        # so any still-deferred base pushes must be mirrored first (the
+        # owner normally drains them before calling; this is a no-op then).
+        self.ensure_synced()
+        if self.cyclic or self.analysis is None:
+            return False
         killed = self.analysis.ddg
-        new_refs = self._killing_arc_refs(kf, pk)
+        assert self._interner is not None
+        interner = self._interner
+        name_of = interner.name
+        new_refs = self._killing_arc_refs(kf, pk, interner.id)
         old_refs = self._arc_refs
-        changed_sources: List[str] = []
+        changed_sources: List[int] = []
         grew = False
         for slot in old_refs.keys() | new_refs.keys():
             has = slot in new_refs
             if (slot in old_refs) == has:
                 continue
-            src, dst = slot
+            src, dst = name_of(slot[0]), name_of(slot[1])
             # The merged serial slot: the bottom mirror's own arc (base
             # graph, bottom normalisation, or pushed serialization arcs)
             # max-merged with the killing arc while it is contributed.
@@ -544,7 +809,7 @@ class _CandidateDVState:
                 killed.add_edge(Edge(src, dst, desired, DependenceKind.SERIAL, None))
                 if current is None:
                     grew = True
-            changed_sources.append(src)
+            changed_sources.append(slot[0])
 
         self.kf_mapping = dict(kf.mapping)
         self._pk_ref = pk
@@ -566,24 +831,24 @@ class _CandidateDVState:
         old_bits = self._killer_bits
         self._set_killer_structures(kf, killed)
         analysis = self.analysis
-        bits: Dict[str, int] = {}
-        for killer in sorted(self._killer_read):
-            row = analysis._lp_rows.get(killer)
+        bits: Dict[int, int] = {}
+        for killer_id in sorted(self._killer_read):
+            row = analysis._lp_rows.get(killer_id)
             row_ok = row is not None and all(
-                row[s] == graphalgo.NEG_INF for s in changed_sources
+                row[s] == _NEG_INF for s in changed_sources
             )
             if row_ok:
-                previous = old_bits.get(killer)
+                previous = old_bits.get(killer_id)
                 if previous is not None:
-                    bits[killer] = previous
+                    bits[killer_id] = previous
                     continue
             elif row is not None:
-                analysis.evict_row(killer)
-            row = analysis.lp_row(killer)
-            bits[killer] = self._mask_from_row(row, self._killer_read[killer])
-        for killer in old_bits:
-            if killer not in bits:
-                analysis.evict_row(killer)
+                analysis.evict_row_id(killer_id)
+            row = analysis.row(killer_id)
+            bits[killer_id] = self._mask_from_row(row, self._killer_read[killer_id])
+        for killer_id in old_bits:
+            if killer_id not in bits:
+                analysis.evict_row_id(killer_id)
         self._killer_bits = bits
 
         new_rows = self.dv_rows()
@@ -596,10 +861,8 @@ class _CandidateDVState:
             engine.clear_frames()
             for i, (new, old) in enumerate(zip(new_rows, old_rows)):
                 added = new & ~old
-                while added:
-                    low = added & -added
-                    engine.insert(i, low.bit_length() - 1)
-                    added ^= low
+                if added:
+                    engine.insert_mask(i, added)
         else:
             self._engine = PersistentAntichain(len(self._values), rows=new_rows)
             # A shrink starts a new monotone segment of the DV-row trace
@@ -614,8 +877,9 @@ class _CandidateDVState:
     def dv_rows(self) -> List[int]:
         """The current DV relation as per-value successor bitsets."""
 
+        killer_bits = self._killer_bits
         return [
-            0 if killer is None else self._killer_bits[killer] & ~(1 << i)
+            0 if killer is None else killer_bits[killer] & ~(1 << i)
             for i, killer in enumerate(self._killer_of)
         ]
 
@@ -623,73 +887,82 @@ class _CandidateDVState:
         """Mirror a push of the base graph; recheck only the moved lp entries.
 
         Every call -- including the early-returned no-ops -- appends one
-        undo frame, keeping the frame stack aligned with the owning
-        session's push depth so :meth:`pop_frame` can replay it exactly.
+        undo frame, keeping the frame stack (plus the deferred queue)
+        aligned with the owning session's push depth so :meth:`pop_frame`
+        can replay it exactly.
         """
 
         frame = _CandidateFrame(was_cyclic=self.cyclic)
         self._sync_frames.append(frame)
         if not self.valid or self.cyclic or self.analysis is None:
             return
+        analysis = self.analysis
+        op_id = analysis.op_id
         targets = {e.dst for e in edges}
         if len(targets) == 1:
             # Serialization arcs of one candidate share their destination, so
             # a new cycle in the killed graph must be a base path from the
             # target back to a source; one longest-path row answers that.
             (target,) = targets
-            row = self.analysis._transient_row(target)
-            if any(row[e.src] != graphalgo.NEG_INF for e in edges):
+            row = analysis._transient_row_flat(op_id(target))
+            if any(row[op_id(e.src)] != _NEG_INF for e in edges):
                 self.cyclic = True
                 return
-        elif not self.analysis.remains_acyclic_with_edges(edges):
+        elif not analysis.remains_acyclic_with_edges(edges):
             self.cyclic = True
             return
-        analysis_frame = self.analysis.push(edges)
+        analysis_frame = analysis.push(edges)
         frame.analysis_pushed = True
         engine = self._engine
         if engine is not None:
             engine.push()
             frame.engine_pushed = True
         bits_changed = False
-        for src, moved in analysis_frame.lp_changes.items():
-            read = self._killer_read.get(src)
+        opid_value = self._opid_value
+        dw = self._dw
+        killer_bits = self._killer_bits
+        for sid, moved in analysis_frame.lp_changes.items():
+            read = self._killer_read.get(sid)
             if read is None:
                 continue
-            row = self.analysis.lp_row(src)
-            mask = self._killer_bits[src]
+            row = analysis.row(sid)
+            mask = killer_bits[sid]
             for y in moved:
-                j = self._node_index.get(y)
-                if j is not None and row[y] >= read - self._delta_w[j]:
+                j = opid_value[y]
+                if j >= 0 and row[y] >= read - dw[j]:
                     mask |= 1 << j
-            added = mask & ~self._killer_bits[src]
+            added = mask & ~killer_bits[sid]
             if not added:
                 continue
             if not bits_changed:
                 # Copy-on-write: the pre-push dict goes to the frame, every
                 # untouched mask stays shared with the previous iteration.
-                frame.bits = self._killer_bits
-                self._killer_bits = dict(self._killer_bits)
+                frame.bits = killer_bits
+                killer_bits = self._killer_bits = dict(killer_bits)
                 bits_changed = True
-            self._killer_bits[src] = mask
+            killer_bits[sid] = mask
             if engine is not None:
                 # New DV arcs i -> j for every value i killed by src and
                 # every newly reached value j; the engine patches its
                 # running closure and marks the matching for repair.
-                for i in self._killer_values.get(src, ()):
-                    bits = added & ~(1 << i)
-                    while bits:
-                        low = bits & -bits
-                        engine.insert(i, low.bit_length() - 1)
-                        bits ^= low
+                for i in self._killer_values.get(sid, ()):
+                    engine.insert_mask(i, added & ~(1 << i))
 
     def pop_frame(self) -> bool:
-        """Undo the most recent :meth:`sync`; False when none remain.
+        """Undo the most recent base push's effect; False when none remain.
 
-        A False return means the state was rebuilt *after* the push being
-        undone, so its killed mirror has the popped arcs baked in rather
-        than framed -- the caller must discard the state.
+        A still-deferred push is simply dropped from the queue (it was never
+        mirrored -- that is the lazy win, counted as skipped); a materialised
+        frame is replayed.  A False return means the state was rebuilt
+        *after* the push being undone, so its killed mirror has the popped
+        arcs baked in rather than framed -- the caller must discard the
+        state.
         """
 
+        if self._pending:
+            self._pending.pop()
+            self._note_skipped(1)
+            return True
         if not self._sync_frames:
             return False
         frame = self._sync_frames.pop()
@@ -742,11 +1015,12 @@ class IncrementalSaturation:
     mutated in lock-step, instead of re-deriving ``G ∪ {⊥}`` per iteration)
     plus the saturation-specific analyses: the potential-killers map, the
     killers' descendant-value sets, a cross-iteration cache of killing sets
-    keyed by bipartite-component signature, one warm
-    :class:`_CandidateDVState` per Greedy-k candidate label (re-targeted by
-    :meth:`_CandidateDVState.patch` when its killing function drifts,
-    rebuilt only from cold or cyclic states), and the keep-alive
-    candidate's warm list schedule
+    keyed by bipartite-component signature (with an identity-validated
+    per-component fast path, see ``signature_cache``), one warm
+    :class:`_CandidateDVState` per Greedy-k candidate label (synced lazily
+    on evaluation, re-targeted by :meth:`_CandidateDVState.patch` when its
+    killing function drifts, rebuilt only from cold or cyclic states), and
+    the keep-alive candidate's warm list schedule
     (:class:`~repro.scheduling.list_scheduler.IncrementalListSchedule`,
     repaired downstream-only per push and injected into the mirror context
     under the ``("keep_alive_schedule", rtype)`` memo the from-scratch
@@ -773,6 +1047,11 @@ class IncrementalSaturation:
         #: Component-signature -> chosen killing set; survives graph epochs
         #: because identical components provably yield identical choices.
         self.killing_set_cache: MutableMapping = {}
+        #: Per-component identity-validated front cache for the above
+        #: (killer-tuple keyed; validated by object identity of the pk rows
+        #: and killer-descendant sets, which the copy-on-write maintenance
+        #: preserves for untouched components).  See `greedy._choose_cached`.
+        self.signature_cache: Dict = {}
         mirror = self._mirror.ddg
         self._values: Tuple[Value, ...] = tuple(sorted(mirror.values(self.rtype)))
         self._node_index: Dict[str, int] = {
@@ -788,6 +1067,7 @@ class IncrementalSaturation:
             "dv_reuses": 0,
             "dv_patches": 0,
             "dv_engine_reseeds": 0,
+            "dv_syncs_skipped": 0,
             "schedule_repairs": 0,
         }
         #: Monotonic per-stage wall-clock accumulators (seconds), keyed by
@@ -897,10 +1177,11 @@ class IncrementalSaturation:
             frame = self._working._frames[-1]
         self._update_after_push(frame.records)
         self.timings["analysis_push"] += time.perf_counter() - t0
-        t0 = time.perf_counter()
+        # Candidate killed mirrors are synced lazily: the push is queued
+        # here (O(1)) and mirrored only if/when the candidate is evaluated;
+        # see _CandidateDVState.defer_sync.
         for state in self._candidate_states.values():
-            state.sync(edges)
-        self.timings["candidate_sync"] += time.perf_counter() - t0
+            state.defer_sync(edges)
         if self._keep_alive is not None:
             self._keep_alive.push()
             dirty = {record.edge.dst for record in frame.records}
@@ -921,9 +1202,10 @@ class IncrementalSaturation:
         self._pk = pk  # type: ignore[assignment]
         self._kdv = kdv  # type: ignore[assignment]
         # Candidate DV states replay their per-push undo frame (killed
-        # mirror, killer bits, persistent antichain engine); a state rebuilt
-        # or patched deeper than the restored depth has the popped arcs
-        # baked into its killed graph and must be discarded instead.
+        # mirror, killer bits, persistent antichain engine) or just drop the
+        # still-deferred push; a state rebuilt or patched deeper than the
+        # restored depth has the popped arcs baked into its killed graph and
+        # must be discarded instead.
         dead = [
             label
             for label, state in self._candidate_states.items()
@@ -985,7 +1267,15 @@ class IncrementalSaturation:
                 self._values, self._node_index, self._delta_w, stats=self.stats
             )
             self._candidate_states[label] = state
-        if state.matches(kf, self._pk):
+        matched = state.matches(kf, self._pk)
+        if matched or state.patchable:
+            # The deferred base pushes are mirrored only now that the state
+            # is actually evaluated (reused or patched); a state headed for
+            # a rebuild drops them inside rebuild() instead.
+            t0 = time.perf_counter()
+            state.ensure_synced()
+            self.timings["candidate_sync"] += time.perf_counter() - t0
+        if matched:
             self.stats["dv_reuses"] += 1
         else:
             t0 = time.perf_counter()
@@ -1024,4 +1314,5 @@ class IncrementalSaturation:
             ctx=context_for(self._working.ddg),
             killing_set_cache=self.killing_set_cache,
             candidate_evaluator=self.candidate_antichain,
+            signature_cache=self.signature_cache,
         )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..analysis.context import AnalysisContext, context_for
 from ..core.graph import DDG, Edge
@@ -34,6 +34,7 @@ __all__ = [
     "potential_killers",
     "potential_killers_map",
     "KillingFunction",
+    "killing_arc_slots",
     "killed_graph",
     "killing_function_from_schedule",
     "enumerate_killing_functions",
@@ -171,19 +172,37 @@ def killed_graph(
     g = ddg.copy(name=f"{ddg.name}->k")
     if pk is None:
         pk = potential_killers_map(ddg, kf.rtype)
-    for value, killer in kf.items():
-        others: Iterable[str]
-        if from_all_consumers:
-            others = ddg.consumers(value.node, value.rtype)
-        else:
-            others = pk.get(value, [])
-        killer_offset = ddg.operation(killer).delta_r
-        for other in others:
-            if other == killer:
-                continue
-            latency = ddg.operation(other).delta_r - killer_offset
+    if from_all_consumers:
+        for value, killer in kf.items():
+            killer_offset = ddg.operation(killer).delta_r
+            for other in ddg.consumers(value.node, value.rtype):
+                if other == killer:
+                    continue
+                latency = ddg.operation(other).delta_r - killer_offset
+                g.add_edge(Edge(other, killer, latency, DependenceKind.SERIAL, None))
+    else:
+        for other, killer in killing_arc_slots(kf, pk):
+            latency = ddg.operation(other).delta_r - ddg.operation(killer).delta_r
             g.add_edge(Edge(other, killer, latency, DependenceKind.SERIAL, None))
     return g
+
+
+def killing_arc_slots(
+    kf: KillingFunction, pk: Mapping[Value, List[str]]
+) -> Iterator[Tuple[str, str]]:
+    """The (other, killer) pairs whose serial arcs :func:`killed_graph` adds.
+
+    One pair per (value, other-potential-killer) contribution, in the order
+    ``killed_graph`` adds the arcs; duplicates are yielded when several
+    values contribute the same slot, which is exactly what the incremental
+    candidate engine's refcounted patch diff needs to merge/unmerge slots
+    the way ``add_edge``'s max-merge did.
+    """
+
+    for value, killer in kf.items():
+        for other in pk.get(value, []):
+            if other != killer:
+                yield other, killer
 
 
 def killing_function_from_schedule(

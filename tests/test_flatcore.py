@@ -1,0 +1,286 @@
+"""Tests for the flat-array hot core (op-id interner, bitmask state, lazy sync).
+
+The flat core rewires the incremental engine's inner loops onto integer op
+ids, flat longest-path rows and bitmask DV state; everything here pins the
+conversion boundaries the rewrite must not move:
+
+* the interner itself (round trip, append-only stability);
+* op-id stability across ``push``/``pop``/``reset_to_depth`` -- the node set
+  of a session never changes, so an id handed out once must stay valid for
+  the session's whole life;
+* byte-identical reduction reports between the flat incremental engine and
+  the from-scratch reference on the paper kernels and a scale instance
+  (the benchmark extends the population up to the 200/240-op superblocks);
+* verdict parity under the exact dirty-region invalidation (PR 6 replaced
+  the conservative ``anc(src)`` half of the pair-verdict invalidation with
+  the exact set read off a sink-distance diff);
+* the lazy candidate-sync protocol (deferred pushes are dropped, not
+  replayed, when the candidate is popped or rebuilt before being evaluated,
+  surfaced by the ``dv_syncs_skipped`` counter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.interner import OpInterner
+from repro.codes import kernel_suite, scale_suite
+from repro.reduction import ReductionSession, reduce_saturation_heuristic
+
+#: Reduction-heavy kernels (same selection as the benchmark population).
+_KERNEL_NAMES = (
+    "linpack-daxpy-u4",
+    "specfp-tomcatv",
+    "dsp-fir6",
+)
+
+
+def _kernel(name):
+    return {e.name: e for e in kernel_suite()}[name]
+
+
+def _scale(size):
+    return scale_suite(sizes=(size,), superblock_sizes=())[0]
+
+
+class TestOpInterner:
+    def test_round_trip(self):
+        interner = OpInterner(["a", "b", "c"])
+        assert [interner.id(n) for n in ("a", "b", "c")] == [0, 1, 2]
+        assert [interner.name(i) for i in range(3)] == ["a", "b", "c"]
+        assert interner.names() == ["a", "b", "c"]
+        assert len(interner) == 3 and interner.size == 3
+        assert "b" in interner and "z" not in interner
+
+    def test_intern_is_append_only_and_idempotent(self):
+        interner = OpInterner()
+        assert interner.intern("x") == 0
+        assert interner.intern("y") == 1
+        assert interner.intern("x") == 0  # re-intern never reassigns
+        assert interner.size == 2
+
+    def test_missing_lookups(self):
+        interner = OpInterner(["a"])
+        assert interner.get("missing") is None
+        with pytest.raises(KeyError):
+            interner.id("missing")
+
+    def test_seeding_order_matches_input_order(self):
+        names = ["n3", "n1", "n2"]
+        interner = OpInterner(names)
+        assert interner.names() == names
+
+
+class TestOpIdStability:
+    def test_ids_survive_push_pop_reset(self):
+        entry = _scale(40)
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        analysis = session._analysis
+        ids_before = {name: analysis.op_id(name) for name in session.ddg.nodes()}
+
+        saturating = list(session.saturation().saturating_values)
+        pushed = 0
+        for u in saturating:
+            for v in saturating:
+                if u == v:
+                    continue
+                edges = session.legal_serialization(u, v)
+                if edges:
+                    session.push(edges)
+                    pushed += 1
+                    break
+            if pushed >= 2:
+                break
+        assert pushed >= 1, "the scale graph must admit a serialization"
+
+        ids_mid = {name: analysis.op_id(name) for name in session.ddg.nodes()}
+        assert ids_mid == ids_before
+
+        session.reset_to_depth(0)
+        ids_after = {name: analysis.op_id(name) for name in session.ddg.nodes()}
+        assert ids_after == ids_before
+
+    def test_mirror_shares_context_interner_ids(self):
+        # The bottom mirror interns independently through its own context;
+        # ids must agree on every shared node because both seed from
+        # DDG.nodes() insertion order (preserved by DDG.copy()).
+        entry = _kernel("dsp-fir6")
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        working = session._analysis
+        mirror = session._saturation._mirror
+        for name in session.ddg.nodes():
+            assert mirror.op_id(name) == working.op_id(name)
+
+    def test_lp_row_dict_view_matches_flat_row(self):
+        entry = _kernel("linpack-daxpy-u4")
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        analysis = session._analysis
+        for name in list(session.ddg.nodes())[:5]:
+            row = analysis.row_by_name(name)
+            as_dict = analysis.lp_row(name)
+            for other, dist in as_dict.items():
+                assert row[analysis.op_id(other)] == dist
+
+
+def _normalized_report(result):
+    """ReductionResult minus wall time and the engine tag (bench's notion)."""
+
+    details = {
+        k: v
+        for k, v in sorted(result.details.items())
+        if k not in ("engine", "engine_stats")
+    }
+    graph = result.extended_ddg
+    return repr(
+        (
+            result.rtype.name,
+            result.target,
+            result.success,
+            result.original_rs,
+            result.achieved_rs,
+            result.added_edges,
+            result.critical_path_before,
+            result.critical_path_after,
+            result.method,
+            result.optimal,
+            details,
+            graph.name,
+            sorted(
+                (e.src, e.dst, e.latency, e.kind.value,
+                 None if e.rtype is None else e.rtype.name)
+                for e in graph.edges()
+            ),
+        )
+    ).encode()
+
+
+class TestFlatCoreByteIdentity:
+    @pytest.mark.parametrize("name", _KERNEL_NAMES)
+    def test_kernel_reports_identical(self, name):
+        entry = _kernel(name)
+        rtype = entry.ddg.register_types()[0]
+        scratch = reduce_saturation_heuristic(
+            entry.ddg.copy(), rtype, 4, engine="from-scratch"
+        )
+        incremental = reduce_saturation_heuristic(
+            entry.ddg.copy(), rtype, 4, engine="incremental"
+        )
+        assert _normalized_report(scratch) == _normalized_report(incremental)
+
+    def test_scale_report_identical(self):
+        entry = _scale(48)
+        rtype = entry.ddg.register_types()[0]
+        scratch = reduce_saturation_heuristic(
+            entry.ddg.copy(), rtype, 8, engine="from-scratch"
+        )
+        incremental = reduce_saturation_heuristic(
+            entry.ddg.copy(), rtype, 8, engine="incremental"
+        )
+        assert _normalized_report(scratch) == _normalized_report(incremental)
+
+
+class TestExactVerdictInvalidation:
+    def test_retained_verdicts_match_fresh_recompute(self):
+        """Property: every verdict the exact invalidation keeps across a push
+        equals what a cold evaluation of that pair would produce now."""
+
+        entry = _scale(56)
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        n = session._nvals
+        values = session._values_by_index
+
+        current = session.saturation()
+        for _ in range(4):
+            saturating = list(current.saturating_values)
+            best, _implied = session.scan(saturating, session.critical_path())
+            if best is None:
+                break
+            session.apply_payload(best[1])
+            # Every retained verdict must be bit-for-bit what a fresh
+            # evaluation produces on the post-push graph.
+            for key, verdict in list(session._pair_verdicts.items()):
+                if type(key) is int:
+                    before, after = values[key // n], values[key % n]
+                else:
+                    before, after = key
+                assert session._consider_fresh(before, after) == verdict, (
+                    f"stale verdict retained for {before} -> {after}"
+                )
+            current = session.saturation()
+
+        assert session.stats["pushes"] > 0
+        assert session.stats["verdict_exact_regions"] == session.stats["pushes"], (
+            "the driver loop keeps the sink-distance map warm, so every push "
+            "must take the exact invalidation path"
+        )
+
+    def test_cold_sink_state_falls_back_conservatively(self):
+        entry = _scale(40)
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        saturating = list(session.saturation().saturating_values)
+        for u in saturating:
+            for v in saturating:
+                if u == v:
+                    continue
+                edges = session.legal_serialization(u, v)
+                if edges:
+                    # No consider/scan ran: the sink-distance map is cold, so
+                    # the push must use the conservative anc(src) region.
+                    session.push(edges)
+                    assert session.stats["verdict_exact_regions"] == 0
+                    return
+        pytest.skip("no legal serialization on this instance")
+
+
+class TestLazySync:
+    def test_popped_pushes_skip_candidate_sync(self):
+        entry = _scale(48)
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        baseline = session.analysis_fingerprint()
+        assert session._saturation._candidate_states, (
+            "saturation() must leave warm candidate states behind"
+        )
+
+        saturating = list(session.saturation().saturating_values)
+        pushed = False
+        for u in saturating:
+            for v in saturating:
+                if u == v:
+                    continue
+                edges = session.legal_serialization(u, v)
+                if edges:
+                    session.push(edges)
+                    pushed = True
+                    break
+            if pushed:
+                break
+        assert pushed
+        session.pop()
+
+        # The push/pop pair must never have replayed the arcs into the
+        # candidate DV mirrors: the deferred sync is dropped unmaterialised.
+        assert session.saturation_stats["dv_syncs_skipped"] > 0
+        assert session.analysis_fingerprint() == baseline
+
+    def test_deferred_syncs_drain_before_evaluation(self):
+        entry = _scale(56)
+        rtype = entry.ddg.register_types()[0]
+        session = ReductionSession(entry.ddg, rtype)
+        current = session.saturation()
+        for _ in range(3):
+            saturating = list(current.saturating_values)
+            best, _implied = session.scan(saturating, session.critical_path())
+            if best is None:
+                break
+            session.apply_payload(best[1])
+            current = session.saturation()
+        # After evaluation every live candidate state has an empty pending
+        # queue and a killed graph consistent with the mirror.
+        for state in session._saturation._candidate_states.values():
+            assert not state._pending
