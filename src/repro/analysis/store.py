@@ -13,10 +13,14 @@ and runs, so repeated suite runs and CI stop re-solving identical instances
   indistinguishable to every algorithm in this package, so a result
   computed for one is valid for the other.
 * :class:`ResultStore` -- a disk-backed map ``(graph_hash, query, params)
-  -> result`` under a versioned schema directory with atomic writes
-  (write-to-temp + ``os.replace``), safe for concurrent writers.  Values
-  are pickled; a corrupt or mismatching entry reads as a miss, never as an
-  error.
+  -> result`` under a versioned schema directory with crash-safe atomic
+  writes (write-ahead temp file + ``fsync`` + ``os.replace``, serialized
+  per hash-prefix shard by a lock file), safe for concurrent writer
+  *processes*.  Values are pickled; a corrupt or mismatching entry reads
+  as a miss -- but never silently: it is quarantined to the schema's
+  ``corrupt/`` subdirectory, counted in :attr:`StoreStats.corrupt` and
+  logged at debug level, so store rot is observable instead of hoped
+  away.
 
 The store is **opt-in**: :func:`active_store` returns ``None`` unless the
 ``REPRO_STORE_DIR`` environment variable names a directory (or
@@ -29,6 +33,7 @@ store was activated programmatically with :func:`set_active_store` /
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -38,7 +43,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
+try:  # POSIX shard locking; Windows falls back to atomic-replace-only.
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None
+
 from ..core.graph import DDG
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -139,12 +151,22 @@ def _canonical_params(params: object) -> object:
 # --------------------------------------------------------------------------- #
 @dataclass
 class StoreStats:
-    """In-process counters of one :class:`ResultStore` (not persisted)."""
+    """In-process counters of one :class:`ResultStore` (not persisted).
+
+    ``errors`` totals every read anomaly; ``corrupt`` counts the subset of
+    entries that were quarantined (unreadable pickle, wrong payload shape,
+    mismatching key fields); ``write_errors`` counts failed writes and
+    failed maintenance deletions.  The counters exist so fault handling is
+    *observable* -- a store that silently eats corruption looks identical
+    to a healthy one until results go missing.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    corrupt: int = 0
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -162,6 +184,8 @@ class StoreStats:
             "misses": self.misses,
             "puts": self.puts,
             "errors": self.errors,
+            "corrupt": self.corrupt,
+            "write_errors": self.write_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -171,11 +195,20 @@ class ResultStore:
 
     Entries are pickle files under ``<root>/v<schema>/<kk>/<key>.pkl`` where
     ``key`` is the SHA-256 of the lookup triple and ``kk`` its first two hex
-    digits (keeps directories small).  Writes go to a temp file in the final
-    directory followed by :func:`os.replace`, so concurrent writers (the
-    batch engine's process policy, parallel CI shards) can only ever race
-    towards identical complete entries, never corrupt one.
+    digits -- the *shard*.  Writes follow a write-ahead discipline: pickle
+    into a temp file in the final directory, flush + ``fsync``, then
+    :func:`os.replace`, all under an ``flock``-ed per-shard lock file, so
+    concurrent writer *processes* (the batch engine's process policy, a
+    future distributed fleet, parallel CI shards) can only ever race
+    towards complete entries -- a reader observes a miss or a fully-written
+    value, never a torn one.  Reads are lockless (``os.replace`` is atomic)
+    and an entry that fails to load is quarantined under
+    ``<root>/v<schema>/corrupt/`` rather than silently dropped.
     """
+
+    #: Quarantine subdirectory name (inside the schema dir; deliberately
+    #: not two hex digits, so shard globs never pick it up).
+    CORRUPT_DIR = "corrupt"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -200,6 +233,55 @@ class ResultStore:
         return self._schema_dir / key[:2] / f"{key}.pkl"
 
     # ------------------------------------------------------------------ #
+    # Shard locking and quarantine
+    # ------------------------------------------------------------------ #
+    @property
+    def quarantine_dir(self) -> Path:
+        return self._schema_dir / self.CORRUPT_DIR
+
+    @contextmanager
+    def _shard_lock(self, shard: Path):
+        """Exclusive cross-process lock on one hash-prefix shard.
+
+        Backed by ``flock`` on a ``.lock`` file inside the shard directory;
+        where ``fcntl`` is unavailable the context degrades to the atomic
+        ``os.replace`` guarantees alone (last identical writer wins).
+        """
+
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(shard / ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside (never silently delete it) and count it."""
+
+        with self._lock:
+            self.stats.corrupt += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+            _log.debug("quarantined corrupt store entry %s (%s)", path.name, reason)
+        except OSError as exc:
+            # Another process may have quarantined or rewritten it first.
+            with self._lock:
+                self.stats.write_errors += 1
+            _log.debug("could not quarantine %s (%s): %s", path.name, reason, exc)
+
+    def quarantined_count(self) -> int:
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.glob("*.pkl"))
+
+    # ------------------------------------------------------------------ #
     # Access
     # ------------------------------------------------------------------ #
     def get(
@@ -209,7 +291,11 @@ class ResultStore:
         params: object = None,
         default: object = None,
     ) -> object:
-        """The stored result, or *default* on a miss (corrupt entry = miss)."""
+        """The stored result, or *default* on a miss.
+
+        A corrupt entry also reads as a miss, but is quarantined and
+        counted (:attr:`StoreStats.corrupt`) rather than silently eaten.
+        """
 
         path = self.path_for(graph_hash, query, params)
         try:
@@ -219,15 +305,12 @@ class ResultStore:
             with self._lock:
                 self.stats.misses += 1
             return default
-        except Exception:
-            # Corrupt/partial/unreadable entry: drop it and report a miss.
+        except Exception as exc:
+            # Unreadable/partial pickle: quarantine it and report a miss.
             with self._lock:
                 self.stats.misses += 1
                 self.stats.errors += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._quarantine(path, f"unreadable: {type(exc).__name__}: {exc}")
             return default
         if (
             not isinstance(payload, dict)
@@ -238,13 +321,23 @@ class ResultStore:
             with self._lock:
                 self.stats.misses += 1
                 self.stats.errors += 1
+            self._quarantine(path, "payload shape/key mismatch")
             return default
         with self._lock:
             self.stats.hits += 1
         return payload["value"]
 
     def put(self, graph_hash: str, query: str, params: object, value: object) -> Path:
-        """Atomically store *value*; concurrent identical puts are harmless."""
+        """Durably and atomically store *value*.
+
+        Write-ahead discipline under the shard lock: temp file in the final
+        directory, flush + ``fsync``, ``os.replace`` over the entry, then a
+        best-effort directory fsync -- a crash at any point leaves either
+        the old entry or the new one, never a torn file.  Concurrent
+        identical puts are harmless (they serialize on the shard lock).
+        Write failures propagate to the caller but are counted first
+        (:attr:`StoreStats.write_errors`).
+        """
 
         path = self.path_for(graph_hash, query, params)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -254,20 +347,47 @@ class ResultStore:
             "query": query,
             "value": value,
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            with self._shard_lock(path.parent):
+                fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError as unlink_exc:
+                        with self._lock:
+                            self.stats.write_errors += 1
+                        _log.debug("left stale temp file %s: %s", tmp, unlink_exc)
+                    raise
+            self._fsync_dir(path.parent)
+        except BaseException as exc:
+            with self._lock:
+                self.stats.write_errors += 1
+            _log.debug("store write failed for %s: %s", path.name, exc)
             raise
         with self._lock:
             self.stats.puts += 1
         return path
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - some filesystems refuse
+            pass
+        finally:
+            os.close(fd)
 
     def memo(self, graph_hash: str, query: str, params: object, factory):
         """``get`` falling back to ``factory()`` + ``put`` (the common shape)."""
@@ -282,22 +402,32 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    #: Glob matching entry shards only (two hex digits -- never ``corrupt/``).
+    _SHARD_GLOB = "[0-9a-f][0-9a-f]/*.pkl"
+
     def entry_count(self) -> int:
         if not self._schema_dir.is_dir():
             return 0
-        return sum(1 for _ in self._schema_dir.glob("*/*.pkl"))
+        return sum(1 for _ in self._schema_dir.glob(self._SHARD_GLOB))
 
     def clear(self) -> int:
-        """Delete every entry of the current schema; returns how many."""
+        """Delete every live entry of the current schema; returns how many.
+
+        Quarantined entries survive a :meth:`clear` (they are evidence of
+        corruption, removable with ``rm -rf`` once inspected).  Deletion
+        failures are counted and logged, never silently swallowed.
+        """
 
         removed = 0
         if self._schema_dir.is_dir():
-            for entry in self._schema_dir.glob("*/*.pkl"):
+            for entry in self._schema_dir.glob(self._SHARD_GLOB):
                 try:
                     entry.unlink()
                     removed += 1
-                except OSError:
-                    pass
+                except OSError as exc:
+                    with self._lock:
+                        self.stats.write_errors += 1
+                    _log.debug("clear could not delete %s: %s", entry, exc)
         return removed
 
 

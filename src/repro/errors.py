@@ -9,7 +9,33 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of every exception raised by the library."""
+    """Base class of every exception raised by the library.
+
+    Library errors are *deterministic* by default: the same input produces
+    the same failure, so re-running the computation cannot help.  The batch
+    supervisor (:mod:`repro.experiments.supervisor`) consults
+    :meth:`retryable` before burning retry budget on a failed item --
+    a malformed graph or an infeasible intLP fails fast, while a
+    :class:`TransientError` (and any *non*-library exception, which looks
+    like a crashed or poisoned worker from the outside) is retried.
+    """
+
+    def retryable(self) -> bool:
+        """Whether re-running the failed computation could succeed."""
+
+        return False
+
+
+class TransientError(ReproError):
+    """A failure of the execution environment, not of the computation.
+
+    Raised (or used as a base) where a retry on a healthy worker is
+    expected to succeed -- lost workers, interrupted IPC, resource
+    exhaustion.  The supervisor retries these within its attempt budget.
+    """
+
+    def retryable(self) -> bool:
+        return True
 
 
 class GraphError(ReproError):
@@ -29,7 +55,12 @@ class ModelError(ReproError):
 
 
 class SolverError(ReproError):
-    """The underlying intLP solver failed unexpectedly."""
+    """The underlying intLP solver failed unexpectedly.
+
+    Deliberately non-retryable: a solver failure on a given model is a
+    deterministic property of the model and backend, so the supervisor
+    must surface it instead of re-solving the same instance.
+    """
 
 
 class InfeasibleError(SolverError):

@@ -1,6 +1,14 @@
 """Experiment harness reproducing the paper's evaluation (Section 5) and discussion."""
 
 from .engine import POLICIES, BatchEngine, run_batch
+from .supervisor import (
+    FaultEvent,
+    ItemOutcome,
+    ItemTimeout,
+    Supervisor,
+    SupervisorConfig,
+    outcomes_as_dicts,
+)
 from .ilp_size import ModelSizePoint, ModelSizeReport, run_ilp_size_study
 from .optimality_reduction import (
     PAPER_BREAKDOWN,
@@ -16,6 +24,12 @@ __all__ = [
     "BatchEngine",
     "run_batch",
     "POLICIES",
+    "SupervisorConfig",
+    "Supervisor",
+    "ItemOutcome",
+    "ItemTimeout",
+    "FaultEvent",
+    "outcomes_as_dicts",
     "run_rs_optimality",
     "RSComparison",
     "RSOptimalityReport",

@@ -36,6 +36,17 @@ Two optional hooks extend the contract without changing it:
   as usual (same policy, same ordering) and written back.  Results still
   come back in input order, so a warm report is byte-identical to a cold
   one.
+
+Fault tolerance lives one layer up, in
+:mod:`repro.experiments.supervisor`: attaching a
+:class:`~repro.experiments.supervisor.SupervisorConfig` (or setting
+``REPRO_TIMEOUT``/``REPRO_RETRIES``/``REPRO_FAULTS``) routes dispatch
+through the supervised path -- per-item timeouts, bounded retry with
+deterministic backoff, broken-pool recovery with a
+``process -> thread -> serial`` degradation ladder, and straggler
+re-dispatch -- while :meth:`BatchEngine.map_with_outcomes` surfaces a
+structured :class:`~repro.experiments.supervisor.ItemOutcome` per item.
+Without any of that configured, dispatch is exactly the plain pool above.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..analysis.store import ResultStore
+from .supervisor import ItemOutcome, Supervisor, SupervisorConfig
 
 __all__ = ["BatchEngine", "run_batch", "POLICIES"]
 
@@ -70,10 +82,18 @@ class BatchEngine:
         ``"process"`` (:mod:`concurrent.futures` pools).
     workers:
         Worker count for the parallel policies; defaults to the CPU count.
+    supervisor:
+        Optional :class:`~repro.experiments.supervisor.SupervisorConfig`
+        enabling fault-tolerant dispatch (per-item timeouts, retries with
+        deterministic backoff, pool recovery).  ``None`` (the default)
+        dispatches unsupervised -- unless the environment asks otherwise
+        (``REPRO_TIMEOUT``/``REPRO_RETRIES``, or an active ``REPRO_FAULTS``
+        plan), so chaos CI runs need no code changes.
     """
 
     policy: str = "serial"
     workers: Optional[int] = None
+    supervisor: Optional[SupervisorConfig] = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -142,30 +162,85 @@ class BatchEngine:
         stored items are never dispatched, computed ones are written back.
         """
 
+        results, _ = self.map_with_outcomes(
+            fn, items, plan=plan, store=store, query=query, key_fn=key_fn
+        )
+        return results
+
+    def map_with_outcomes(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        plan: Optional[Callable[[T], T]] = None,
+        store: Optional[ResultStore] = None,
+        query: str = "",
+        key_fn: Optional[Callable[[T], Tuple[str, object]]] = None,
+    ) -> Tuple[List[R], List[ItemOutcome]]:
+        """Like :meth:`map`, also returning one :class:`ItemOutcome` per item.
+
+        Outcomes record how each result was obtained (attempts, policy,
+        fault history, or ``"stored"`` for store hits).  They describe this
+        run's *execution*, never its *values*: they are not written to the
+        store and must stay out of report bytes.
+        """
+
         work: List[T] = list(items)
         if plan is not None:
             work = [plan(item) for item in work]
+        supervisor = self.supervisor
+        if supervisor is None:
+            supervisor = SupervisorConfig.from_environment()
         if store is not None and key_fn is not None:
             keys = [key_fn(item) for item in work]
             results: List[object] = [
                 store.get(ghash, query, params, default=_MISS)
                 for ghash, params in keys
             ]
+            outcomes = [
+                ItemOutcome(index=i, status="stored", attempts=0, policy=self.policy)
+                for i in range(len(work))
+            ]
             miss = [i for i, r in enumerate(results) if r is _MISS]
-            computed = self._dispatch(fn, [work[i] for i in miss])
-            for i, value in zip(miss, computed):
+            computed, miss_outcomes = self._dispatch(
+                fn, [work[i] for i in miss], supervisor
+            )
+            for i, value, outcome in zip(miss, computed, miss_outcomes):
                 ghash, params = keys[i]
                 store.put(ghash, query, params, value)
                 results[i] = value
-            return results  # type: ignore[return-value]
-        return self._dispatch(fn, work)
+                outcome.index = i
+                outcomes[i] = outcome
+            return results, outcomes  # type: ignore[return-value]
+        return self._dispatch(fn, work, supervisor)
 
-    def _dispatch(self, fn: Callable[[T], R], work: Sequence[T]) -> List[R]:
+    def _dispatch(
+        self,
+        fn: Callable[[T], R],
+        work: Sequence[T],
+        supervisor: Optional[SupervisorConfig] = None,
+    ) -> Tuple[List[R], List[ItemOutcome]]:
+        if supervisor is not None:
+            runner = Supervisor(
+                self.policy, self.resolved_workers(len(work)), supervisor
+            )
+            return runner.run(fn, work)  # type: ignore[return-value]
+        outcomes = [
+            ItemOutcome(index=i, policy=self.policy) for i in range(len(work))
+        ]
         if self.policy == "serial" or len(work) <= 1:
-            return [fn(item) for item in work]
+            return [fn(item) for item in work], outcomes
         pool_cls = ThreadPoolExecutor if self.policy == "thread" else ProcessPoolExecutor
         with pool_cls(max_workers=self.resolved_workers(len(work))) as pool:
-            return list(pool.map(fn, work))
+            futures = [pool.submit(fn, item) for item in work]
+            try:
+                return [future.result() for future in futures], outcomes
+            except BaseException:
+                # Don't let a failed batch keep burning CPU behind the
+                # caller's back: drop everything not yet running, then let
+                # the ``with`` block reap the in-flight remainder.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
 
 def run_batch(

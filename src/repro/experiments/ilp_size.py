@@ -24,6 +24,7 @@ from ..ilp.registry import backend_request_token
 from ..saturation.exact_ilp import build_rs_program
 from .engine import BatchEngine
 from .reporting import format_table
+from .supervisor import ItemOutcome
 
 __all__ = ["ModelSizePoint", "ModelSizeReport", "run_ilp_size_study"]
 
@@ -52,6 +53,8 @@ class ModelSizeReport:
     """Sweep results plus the fitted growth exponents."""
 
     points: List[ModelSizePoint] = field(default_factory=list)
+    #: Supervised-execution records per sweep point; not part of the table.
+    item_outcomes: List[ItemOutcome] = field(default_factory=list)
 
     def variable_exponent(self) -> float:
         """Exponent alpha of ``variables ~ n^alpha`` (should be <= 2)."""
@@ -141,7 +144,7 @@ def run_ilp_size_study(
     ]
     if extra_graphs:
         graphs.extend(extra_graphs)
-    points = BatchEngine.coerce(engine).map(
+    points, item_outcomes = BatchEngine.coerce(engine).map_with_outcomes(
         _size_instance,
         [(ddg, prune) for ddg in graphs],
         store=active_store(),
@@ -153,4 +156,4 @@ def run_ilp_size_study(
             {"prune": task[1], "backend": backend_request_token("auto")},
         ),
     )
-    return ModelSizeReport(list(points))
+    return ModelSizeReport(list(points), item_outcomes=item_outcomes)

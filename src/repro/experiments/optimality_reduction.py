@@ -42,6 +42,7 @@ from ..reduction import reduce_saturation_exact, reduce_saturation_multi_budget
 from ..saturation import greedy_saturation
 from .engine import BatchEngine
 from .reporting import format_breakdown, format_table
+from .supervisor import ItemOutcome
 
 __all__ = [
     "PAPER_BREAKDOWN",
@@ -110,6 +111,9 @@ class ReductionOptimalityReport:
     #: candidate engine answered warm.  Deterministic (counter sums only,
     #: no timings), so stored cold/warm reports stay byte-identical.
     engine_counters: Dict[str, int] = field(default_factory=dict)
+    #: Supervised-execution records, one per dispatched DAG task; excluded
+    #: from every table so chaos/retry runs keep byte-identical reports.
+    item_outcomes: List[ItemOutcome] = field(default_factory=list)
 
     @property
     def instances(self) -> int:
@@ -298,7 +302,7 @@ def run_reduction_optimality(
         for entry in suite
         if entry.size <= max_nodes
     ]
-    results = BatchEngine.coerce(engine).map(
+    results, item_outcomes = BatchEngine.coerce(engine).map_with_outcomes(
         _reduction_instance,
         tasks,
         store=active_store(),
@@ -328,5 +332,8 @@ def run_reduction_optimality(
         for key, value in instance_counters.items():
             counters[key] = counters.get(key, 0) + value
     return ReductionOptimalityReport(
-        comparisons, spill_instances=spills, engine_counters=counters
+        comparisons,
+        spill_instances=spills,
+        engine_counters=counters,
+        item_outcomes=item_outcomes,
     )

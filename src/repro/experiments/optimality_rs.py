@@ -20,6 +20,7 @@ from ..ilp import default_registry
 from ..saturation import exact_saturation, greedy_saturation
 from .engine import BatchEngine
 from .reporting import format_table
+from .supervisor import ItemOutcome
 
 __all__ = ["RSComparison", "RSOptimalityReport", "run_rs_optimality"]
 
@@ -55,6 +56,10 @@ class RSOptimalityReport:
     """Aggregated results of the RS-optimality experiment."""
 
     comparisons: List[RSComparison] = field(default_factory=list)
+    #: Supervised-execution records, one per dispatched task (a task bundles
+    #: one DAG's register types).  Not part of any table -- report bytes
+    #: stay identical whether or not faults or retries occurred.
+    item_outcomes: List[ItemOutcome] = field(default_factory=list)
 
     @property
     def instances(self) -> int:
@@ -213,7 +218,7 @@ def run_rs_optimality(
     if suite is None:
         suite = benchmark_suite(max_size=max_nodes)
     tasks = [(entry, time_limit, backend) for entry in suite if entry.size <= max_nodes]
-    per_entry = BatchEngine.coerce(engine).map(
+    per_entry, item_outcomes = BatchEngine.coerce(engine).map_with_outcomes(
         _rs_instance,
         tasks,
         plan=_plan_rs_task,
@@ -224,4 +229,6 @@ def run_rs_optimality(
             {"name": task[0].name, "time_limit": task[1], "backend": task[2]},
         ),
     )
-    return RSOptimalityReport([c for chunk in per_entry for c in chunk])
+    return RSOptimalityReport(
+        [c for chunk in per_entry for c in chunk], item_outcomes=item_outcomes
+    )

@@ -30,6 +30,7 @@ from ..saturation import greedy_saturation, trivially_within_budget
 from ..scheduling import evaluate_schedule, list_schedule
 from .engine import BatchEngine
 from .reporting import format_table
+from .supervisor import ItemOutcome
 
 __all__ = ["PipelineOutcome", "PipelineReport", "run_pipeline", "run_pipeline_experiment"]
 
@@ -58,6 +59,10 @@ class PipelineOutcome:
 @dataclass(frozen=True)
 class PipelineReport:
     outcomes: List[PipelineOutcome] = field(default_factory=list)
+    #: Per-item execution records (attempts, policy, fault history) from the
+    #: supervised batch layer.  Deliberately excluded from :meth:`to_table`:
+    #: a chaos run's table must stay byte-identical to the reference run's.
+    item_outcomes: List[ItemOutcome] = field(default_factory=list)
 
     @property
     def all_spill_free(self) -> bool:
@@ -215,7 +220,7 @@ def run_pipeline_experiment(
         if entry.size <= max_nodes
         for rtype in entry.ddg.register_types()
     ]
-    outcomes = BatchEngine.coerce(engine).map(
+    outcomes, item_outcomes = BatchEngine.coerce(engine).map_with_outcomes(
         _pipeline_instance,
         tasks,
         store=active_store(),
@@ -234,4 +239,4 @@ def run_pipeline_experiment(
             },
         ),
     )
-    return PipelineReport(list(outcomes))
+    return PipelineReport(list(outcomes), item_outcomes=item_outcomes)

@@ -1,0 +1,19 @@
+"""Test-support utilities: deterministic fault injection for batch workers."""
+
+from .faults import (
+    CorruptPayload,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    active_plan,
+    is_corrupt_payload,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedCrash",
+    "CorruptPayload",
+    "active_plan",
+    "is_corrupt_payload",
+]
