@@ -1,0 +1,168 @@
+"""Benchmark: fleet chaos smoke -- the distributed fleet under network faults.
+
+The fleet layer (:mod:`repro.fleet`) promises that *distribution* is an
+execution detail on top of the chaos invariant: lease items to a broker-fed
+fleet of worker processes, drop and duplicate their result messages, sever
+a connection mid-lease, hard-kill a leaseholder -- and the experiment
+reports must come out **byte-identical** to a serial fault-free run, with
+every disturbance accounted for in the per-item
+:class:`~repro.experiments.ItemOutcome` records and no item lost or
+double-counted.
+
+This benchmark runs the experiment smoke suite twice:
+
+* a **reference** pass -- serial engine, all fault/supervision/fleet
+  environment stripped;
+* a **fleet chaos** pass -- ``fleet`` policy over 3 local worker processes,
+  ``REPRO_FAULTS`` active with the network fault matrix (planted drop /
+  duplicate / partition faults plus one worker killed mid-lease, then
+  rate-based drops on top), short leases so recovery is visible in seconds.
+
+It asserts the fleet pass completes, matches the reference byte for byte,
+reports one terminal outcome per dispatched item, and actually observed
+network faults (otherwise the run proved nothing).  The full fault history
+is written to ``REPRO_FAULT_HISTORY_JSON`` (default
+``fleet-fault-history.json``) so CI can upload it as an artifact.
+``REPRO_BENCH_SMOKE=1`` shrinks the suite for CI runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+from repro.codes import benchmark_suite
+from repro.core import superscalar
+from repro.experiments import (
+    BatchEngine,
+    outcomes_as_dicts,
+    run_pipeline_experiment,
+    section,
+)
+from repro.testing import FaultPlan
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Everything that can switch the engine into supervised/fleet mode from
+#: the environment; the reference pass runs with all of it stripped.
+_SUPERVISION_ENV = (
+    "REPRO_FAULTS", "REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_SPECULATE",
+    "REPRO_FLEET_LEASE", "REPRO_FLEET_HEARTBEAT", "REPRO_FLEET_RESPAWN",
+)
+
+#: Used when the job does not export REPRO_FAULTS itself: the planted
+#: quartet guarantees one dropped result, one broker-side duplicate
+#: delivery, one severed connection, and one worker hard-killed mid-lease;
+#: the drop rate adds reproducible background noise on top.
+_DEFAULT_FAULTS = "drop@0,dup@1,partition@2,leasekill@3,drop:0.05,seed:20"
+
+
+@contextmanager
+def _environment(**overrides):
+    """Temporarily set/remove (value None) environment variables."""
+
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _run_smoke_suite(engine):
+    """One pipeline-experiment pass; returns (table, outcomes)."""
+
+    max_nodes = 10 if _SMOKE else 14
+    suite = benchmark_suite(max_size=max_nodes)
+    machine = superscalar(int_registers=4, float_registers=4)
+    pipeline = run_pipeline_experiment(
+        suite=suite, machine=machine, registers=4, engine=engine
+    )
+    return pipeline.to_table(), list(pipeline.item_outcomes)
+
+
+def test_fleet_chaos_run_is_byte_identical_to_serial_reference():
+    spec = os.environ.get("REPRO_FAULTS", _DEFAULT_FAULTS)
+    plan = FaultPlan.parse(spec)
+    assert plan.active, f"REPRO_FAULTS={spec!r} plans no faults at all"
+    history_file = os.environ.get(
+        "REPRO_FAULT_HISTORY_JSON", "fleet-fault-history.json"
+    )
+    workers = int(os.environ.get("REPRO_FLEET_WORKERS", "3"))
+
+    cleared = {key: None for key in _SUPERVISION_ENV}
+    with _environment(**cleared):
+        t0 = time.perf_counter()
+        reference, reference_outcomes = _run_smoke_suite(BatchEngine("serial"))
+        reference_time = time.perf_counter() - t0
+
+    timeout = os.environ.get("REPRO_TIMEOUT", "30")
+    lease = os.environ.get("REPRO_FLEET_LEASE", "2.0")
+    heartbeat = os.environ.get("REPRO_FLEET_HEARTBEAT", "0.2")
+    with _environment(REPRO_FAULTS=spec, REPRO_TIMEOUT=timeout,
+                      REPRO_FLEET_LEASE=lease,
+                      REPRO_FLEET_HEARTBEAT=heartbeat):
+        t0 = time.perf_counter()
+        fleet, fleet_outcomes = _run_smoke_suite(
+            BatchEngine("fleet", workers=workers)
+        )
+        fleet_time = time.perf_counter() - t0
+
+    items = len(fleet_outcomes)
+    faulted = [o for o in fleet_outcomes if o.faulted]
+    fault_events = sum(len(o.faults) for o in faulted)
+    retried = sum(1 for o in fleet_outcomes if o.attempts > 1)
+    kinds = sorted({e.kind for o in faulted for e in o.faults})
+
+    print(section("Fleet chaos smoke: distributed fleet under network faults"))
+    print(f"fault plan         : {spec}")
+    print(f"fleet              : {workers} workers, lease {lease}s, "
+          f"heartbeat {heartbeat}s")
+    print(f"reference (serial) : {reference_time:.3f}s over "
+          f"{len(reference_outcomes)} items")
+    print(f"fleet chaos        : {fleet_time:.3f}s over {items} items")
+    print(f"faulted items      : {len(faulted)} ({fault_events} fault events, "
+          f"{retried} items retried)")
+    print(f"fault kinds seen   : {', '.join(kinds) if kinds else 'none'}")
+
+    payload = {
+        "fault_spec": spec,
+        "workers": workers,
+        "lease_seconds": float(lease),
+        "heartbeat_seconds": float(heartbeat),
+        "timeout_seconds": float(timeout),
+        "items": items,
+        "faulted_items": len(faulted),
+        "fault_events": fault_events,
+        "fault_kinds": kinds,
+        "reference_seconds": reference_time,
+        "fleet_seconds": fleet_time,
+        "outcomes": outcomes_as_dicts(fleet_outcomes),
+    }
+    with open(history_file, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"fault history      : {history_file}")
+
+    assert fleet == reference, (
+        "fleet-chaos reports must be byte-identical to the serial "
+        "fault-free run"
+    )
+    assert items == len(reference_outcomes), (
+        "every dispatched item must report an ItemOutcome"
+    )
+    assert all(o.status == "ok" for o in fleet_outcomes), (
+        "every item must reach a terminal ok outcome: nothing lost"
+    )
+    assert len(faulted) >= 3, (
+        "the fleet run observed almost no faults; the plan proved nothing"
+    )

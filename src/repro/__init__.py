@@ -62,6 +62,7 @@ from .core import (
 )
 from .errors import (
     AllocationError,
+    ConfigurationError,
     CyclicGraphError,
     GraphError,
     InfeasibleError,
@@ -126,6 +127,7 @@ __all__ = [
     "solve_src",
     # errors
     "ReproError",
+    "ConfigurationError",
     "GraphError",
     "CyclicGraphError",
     "ScheduleError",

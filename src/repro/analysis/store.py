@@ -38,6 +38,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -156,7 +157,10 @@ class StoreStats:
     ``errors`` totals every read anomaly; ``corrupt`` counts the subset of
     entries that were quarantined (unreadable pickle, wrong payload shape,
     mismatching key fields); ``write_errors`` counts failed writes and
-    failed maintenance deletions.  The counters exist so fault handling is
+    failed maintenance deletions; ``lock_timeouts`` counts shard locks that
+    could not be acquired within the timeout and were quarantined as stale;
+    ``stale_tmp_removed`` counts orphaned write-ahead temp files swept on
+    open.  The counters exist so fault handling is
     *observable* -- a store that silently eats corruption looks identical
     to a healthy one until results go missing.
     """
@@ -167,6 +171,8 @@ class StoreStats:
     errors: int = 0
     corrupt: int = 0
     write_errors: int = 0
+    lock_timeouts: int = 0
+    stale_tmp_removed: int = 0
 
     @property
     def lookups(self) -> int:
@@ -186,6 +192,8 @@ class StoreStats:
             "errors": self.errors,
             "corrupt": self.corrupt,
             "write_errors": self.write_errors,
+            "lock_timeouts": self.lock_timeouts,
+            "stale_tmp_removed": self.stale_tmp_removed,
             "hit_rate": self.hit_rate,
         }
 
@@ -210,11 +218,28 @@ class ResultStore:
     #: not two hex digits, so shard globs never pick it up).
     CORRUPT_DIR = "corrupt"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    #: How long a writer waits for a shard lock before declaring the holder
+    #: stuck, quarantining the lock file, and retrying on a fresh one.
+    DEFAULT_LOCK_TIMEOUT = 10.0
+
+    #: A write-ahead temp file older than this at open time belongs to a
+    #: writer that died mid-write; younger ones may be live concurrent puts.
+    TMP_GRACE_SECONDS = 60.0
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        lock_timeout: Optional[float] = DEFAULT_LOCK_TIMEOUT,
+        tmp_grace: float = TMP_GRACE_SECONDS,
+    ) -> None:
         self.root = Path(root)
         self._schema_dir = self.root / f"v{STORE_SCHEMA_VERSION}"
         self._lock = threading.Lock()
+        self.lock_timeout = lock_timeout
+        self.tmp_grace = tmp_grace
         self.stats = StoreStats()
+        self._sweep_orphan_tmp()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore({str(self.root)!r})"
@@ -246,20 +271,95 @@ class ResultStore:
         Backed by ``flock`` on a ``.lock`` file inside the shard directory;
         where ``fcntl`` is unavailable the context degrades to the atomic
         ``os.replace`` guarantees alone (last identical writer wins).
+
+        Acquisition is bounded by ``lock_timeout``: a holder stuck mid-write
+        (hung worker, process frozen under a debugger) must not block every
+        contender indefinitely.  On timeout the lock *file* is quarantined
+        -- renamed into ``corrupt/`` so the stuck holder keeps its flock on
+        an orphaned inode -- and contenders coordinate on a fresh lock file
+        (counted in :attr:`StoreStats.lock_timeouts`).  After two quarantine
+        rounds the writer proceeds unlocked: the atomic-replace discipline
+        alone still guarantees readers never observe a torn entry.
         """
 
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
-        fd = os.open(shard / ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+        lock_path = shard / ".lock"
+        fd: Optional[int] = None
+        for round_ in range(3):
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            if self.lock_timeout is None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                break
+            deadline = time.monotonic() + self.lock_timeout
+            acquired = False
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    acquired = True
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        break
+                    time.sleep(min(0.02, self.lock_timeout / 10.0))
+            if acquired:
+                break
+            os.close(fd)
+            fd = None
+            if round_ < 2:
+                self._quarantine_stale_lock(lock_path)
         try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
             yield
         finally:
+            if fd is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                finally:
+                    os.close(fd)
+
+    def _quarantine_stale_lock(self, lock_path: Path) -> None:
+        """Move a lock file whose holder looks stuck out of the way."""
+
+        with self._lock:
+            self.stats.lock_timeouts += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / (
+                f"{lock_path.parent.name}-{time.time_ns():x}.lock.stale"
+            )
+            os.replace(lock_path, target)
+            _log.debug("quarantined stale shard lock %s -> %s", lock_path, target)
+        except OSError as exc:
+            # A fellow contender beat us to the rename; its fresh lock file
+            # is what the retry round will coordinate on.
+            _log.debug("could not quarantine stale lock %s: %s", lock_path, exc)
+
+    def _sweep_orphan_tmp(self) -> int:
+        """Remove write-ahead temp files orphaned by writers that died.
+
+        Called on open: a ``.tmp-*.pkl`` older than ``tmp_grace`` seconds
+        can no longer belong to a live put (puts hold their shard lock for
+        milliseconds), so it is deleted and counted.  Younger temp files are
+        left alone -- they may be a concurrent writer mid-``fsync``.
+        """
+
+        if not self._schema_dir.is_dir():
+            return 0
+        removed = 0
+        cutoff = time.time() - self.tmp_grace
+        for tmp in self._schema_dir.glob("[0-9a-f][0-9a-f]/.tmp-*.pkl"):
             try:
-                fcntl.flock(fd, fcntl.LOCK_UN)
-            finally:
-                os.close(fd)
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - lost a race with its writer
+                continue
+        if removed:
+            with self._lock:
+                self.stats.stale_tmp_removed += removed
+            _log.debug("swept %d orphaned write-ahead temp file(s)", removed)
+        return removed
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a bad entry aside (never silently delete it) and count it."""
@@ -349,21 +449,7 @@ class ResultStore:
         }
         try:
             with self._shard_lock(path.parent):
-                fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
-                try:
-                    with os.fdopen(fd, "wb") as fh:
-                        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                        fh.flush()
-                        os.fsync(fh.fileno())
-                    os.replace(tmp, path)
-                except BaseException:
-                    try:
-                        os.unlink(tmp)
-                    except OSError as unlink_exc:
-                        with self._lock:
-                            self.stats.write_errors += 1
-                        _log.debug("left stale temp file %s: %s", tmp, unlink_exc)
-                    raise
+                self._write_entry(path, payload)
             self._fsync_dir(path.parent)
         except BaseException as exc:
             with self._lock:
@@ -373,6 +459,62 @@ class ResultStore:
         with self._lock:
             self.stats.puts += 1
         return path
+
+    def put_if_absent(
+        self, graph_hash: str, query: str, params: object, value: object
+    ) -> Tuple[object, bool]:
+        """Store *value* unless a fully-written entry already exists.
+
+        Returns ``(winning_value, stored)``: the first fully-written value
+        wins, so an at-least-once producer (the distributed fleet delivers
+        duplicate results by design) converges on one canonical entry --
+        later writers observe the existing value and drop their own.  The
+        existence check and the write happen under the same shard lock, so
+        two racing writers cannot both believe they won.
+        """
+
+        path = self.path_for(graph_hash, query, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._shard_lock(path.parent):
+            existing = self.get(graph_hash, query, params, default=_MISS)
+            if existing is not _MISS:
+                return existing, False
+            payload = {
+                "schema": STORE_SCHEMA_VERSION,
+                "graph_hash": graph_hash,
+                "query": query,
+                "value": value,
+            }
+            try:
+                self._write_entry(path, payload)
+            except BaseException as exc:
+                with self._lock:
+                    self.stats.write_errors += 1
+                _log.debug("store write failed for %s: %s", path.name, exc)
+                raise
+        self._fsync_dir(path.parent)
+        with self._lock:
+            self.stats.puts += 1
+        return value, True
+
+    def _write_entry(self, path: Path, payload: dict) -> None:
+        """Write-ahead write of one entry (caller holds the shard lock)."""
+
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError as unlink_exc:
+                with self._lock:
+                    self.stats.write_errors += 1
+                _log.debug("left stale temp file %s: %s", tmp, unlink_exc)
+            raise
 
     @staticmethod
     def _fsync_dir(directory: Path) -> None:

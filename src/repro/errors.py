@@ -38,6 +38,17 @@ class TransientError(ReproError):
         return True
 
 
+class ConfigurationError(ReproError):
+    """An environment variable or configuration value is malformed.
+
+    Raised at the point where the value is *read* (not deep inside generic
+    parsing code), and the message always names the offending variable or
+    option, so a typo in ``REPRO_TIMEOUT`` or ``REPRO_FAULTS`` surfaces as
+    one clear diagnosis instead of a bare ``ValueError`` traceback.
+    Deliberately non-retryable: the environment does not fix itself.
+    """
+
+
 class GraphError(ReproError):
     """A data dependence graph is malformed or an operation on it is invalid."""
 

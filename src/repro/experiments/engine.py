@@ -47,6 +47,14 @@ deterministic backoff, broken-pool recovery with a
 re-dispatch -- while :meth:`BatchEngine.map_with_outcomes` surfaces a
 structured :class:`~repro.experiments.supervisor.ItemOutcome` per item.
 Without any of that configured, dispatch is exactly the plain pool above.
+
+The ``fleet`` policy goes one step further: :mod:`repro.fleet` leases items
+to a broker-supervised fleet of worker processes over local sockets
+(heartbeat liveness, lease expiry and reassignment, work stealing,
+at-least-once delivery made idempotent through the result store), and
+degrades to the local supervised pool when the fleet substrate fails.
+Results still come back in input order, so a fleet report is byte-identical
+to a serial one.
 """
 
 from __future__ import annotations
@@ -65,7 +73,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Recognised execution policies, in increasing order of isolation.
-POLICIES = ("serial", "thread", "process")
+POLICIES = ("serial", "thread", "process", "fleet")
 
 #: Internal miss marker for store lookups (results may legitimately be falsy).
 _MISS = object()
@@ -79,7 +87,9 @@ class BatchEngine:
     ----------
     policy:
         ``"serial"`` (run inline, the default), ``"thread"`` or
-        ``"process"`` (:mod:`concurrent.futures` pools).
+        ``"process"`` (:mod:`concurrent.futures` pools), or ``"fleet"``
+        (broker-supervised worker processes over local sockets, see
+        :mod:`repro.fleet`).
     workers:
         Worker count for the parallel policies; defaults to the CPU count.
     supervisor:
@@ -118,7 +128,7 @@ class BatchEngine:
 
     @classmethod
     def from_spec(cls, spec: str) -> "BatchEngine":
-        """Parse ``"serial"``, ``"thread"``, ``"process"``, or ``"thread:4"``."""
+        """Parse ``"serial"``, ``"thread"``, ``"process"``, ``"fleet"``, or ``"thread:4"``."""
 
         policy, _, count = spec.strip().partition(":")
         workers = int(count) if count else None
@@ -203,11 +213,19 @@ class BatchEngine:
             ]
             miss = [i for i, r in enumerate(results) if r is _MISS]
             computed, miss_outcomes = self._dispatch(
-                fn, [work[i] for i in miss], supervisor
+                fn, [work[i] for i in miss], supervisor,
+                store=store, query=query, keys=[keys[i] for i in miss],
             )
             for i, value, outcome in zip(miss, computed, miss_outcomes):
                 ghash, params = keys[i]
-                store.put(ghash, query, params, value)
+                if self.policy == "fleet":
+                    # The fleet broker already rendezvoused each result
+                    # through ``put_if_absent`` as it arrived (crash-safe,
+                    # first-fully-written wins); this is an idempotent no-op
+                    # that only fills genuinely missing entries.
+                    value, _ = store.put_if_absent(ghash, query, params, value)
+                else:
+                    store.put(ghash, query, params, value)
                 results[i] = value
                 outcome.index = i
                 outcomes[i] = outcome
@@ -219,7 +237,20 @@ class BatchEngine:
         fn: Callable[[T], R],
         work: Sequence[T],
         supervisor: Optional[SupervisorConfig] = None,
+        *,
+        store: Optional[ResultStore] = None,
+        query: str = "",
+        keys: Optional[Sequence[Tuple[str, object]]] = None,
     ) -> Tuple[List[R], List[ItemOutcome]]:
+        if self.policy == "fleet":
+            from ..fleet import run_fleet  # deferred: avoids an import cycle
+
+            return run_fleet(  # type: ignore[return-value]
+                fn, work,
+                workers=self.resolved_workers(len(work)),
+                supervisor=supervisor,
+                store=store, query=query, keys=keys,
+            )
         if supervisor is not None:
             runner = Supervisor(
                 self.policy, self.resolved_workers(len(work)), supervisor

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import pickle
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
@@ -46,7 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError, TransientError
+from ..errors import ConfigurationError, ReproError, TransientError
 from ..testing.faults import FaultInjector, active_plan, is_corrupt_payload
 
 __all__ = [
@@ -60,6 +61,28 @@ __all__ = [
 
 #: Policy degradation ladder after repeated pool failures.
 _DEGRADE = {"process": "thread", "thread": "serial", "serial": "serial"}
+
+
+def _env_number(name, raw, convert, *, default, minimum):
+    """Parse one numeric environment value, diagnosing the variable by name.
+
+    An unset/empty value yields *default*; anything unparsable or below
+    *minimum* raises a :class:`~repro.errors.ConfigurationError` naming the
+    variable, so a typo surfaces at configuration time instead of as a bare
+    ``ValueError`` somewhere inside the dispatch loop.
+    """
+
+    if not raw:
+        return default
+    try:
+        value = convert(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{name}={raw!r} is not a valid {convert.__name__}"
+        ) from exc
+    if value < minimum:
+        raise ConfigurationError(f"{name}={raw!r} must be >= {minimum}")
+    return value
 
 
 class ItemTimeout(TransientError):
@@ -107,6 +130,10 @@ class SupervisorConfig:
         active ``REPRO_FAULTS`` plan switches it on implicitly (with a 30s
         default timeout), so a chaos run needs no further knobs and the
         fault-free fast path stays exactly the pre-supervisor dispatch.
+
+        Malformed values raise one :class:`~repro.errors.ConfigurationError`
+        naming the variable (``REPRO_TIMEOUT=-5`` is a mistake, not a
+        request; ``REPRO_TIMEOUT=0`` explicitly means "no deadline").
         """
 
         timeout_env = os.environ.get("REPRO_TIMEOUT", "").strip()
@@ -114,12 +141,16 @@ class SupervisorConfig:
         speculate_env = os.environ.get("REPRO_SPECULATE", "").strip()
         if not (timeout_env or retries_env or speculate_env) and active_plan() is None:
             return None
-        timeout: Optional[float] = float(timeout_env) if timeout_env else 30.0
-        if timeout <= 0:  # REPRO_TIMEOUT=0 means "no deadline"
+        timeout: Optional[float] = _env_number(
+            "REPRO_TIMEOUT", timeout_env, float, default=30.0, minimum=0.0
+        )
+        if timeout == 0:  # REPRO_TIMEOUT=0 means "no deadline"
             timeout = None
         return cls(
             timeout=timeout,
-            max_attempts=int(retries_env) if retries_env else 3,
+            max_attempts=_env_number(
+                "REPRO_RETRIES", retries_env, int, default=3, minimum=1
+            ),
             speculate=speculate_env not in ("0", "no", "off", "false"),
         )
 
@@ -277,6 +308,16 @@ class Supervisor:
     def _is_retryable(exc: BaseException) -> bool:
         if isinstance(exc, ReproError):
             return exc.retryable()
+        if isinstance(exc, pickle.PickleError):
+            # An unpicklable payload or result is a deterministic property
+            # of the item, not of the worker that tried to ship it --
+            # retrying burns the whole budget reaching the same exception.
+            return False
+        if isinstance(exc, (AttributeError, TypeError)) and "pickle" in str(exc).lower():
+            # CPython reports some serialization failures as AttributeError
+            # ("Can't pickle local object ...") or TypeError ("cannot pickle
+            # '...' object") rather than PicklingError; same determinism.
+            return False
         return isinstance(exc, Exception)  # KeyboardInterrupt/SystemExit propagate
 
     # ------------------------------------------------------------------ #

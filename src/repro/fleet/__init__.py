@@ -1,0 +1,30 @@
+"""Fault-tolerant distributed solver fleet over the result store.
+
+The paper's exact intLP sweeps are multi-day jobs; this package ships the
+:class:`~repro.experiments.engine.BatchEngine` contract across process
+boundaries: a :class:`~repro.fleet.broker.Broker` leases ``(index, item)``
+bundles to a fleet of worker processes over stdlib
+:mod:`multiprocessing.connection` sockets, tracks liveness by heartbeat,
+expires and deterministically reassigns the leases of dead or silent
+workers, steals work for stragglers, and makes at-least-once delivery
+idempotent by writing results under the same
+:class:`~repro.analysis.store.ResultStore` key a local run would use
+(first fully-written value wins; duplicates are verified and dropped).
+
+Robustness is the headline: when the broker socket cannot be opened or the
+worker population collapses past its respawn budget, the fleet degrades to
+the local supervised pool (which itself degrades ``process -> thread ->
+serial``), so a batch always completes with results byte-identical to a
+serial fault-free run.  Activated as ``BatchEngine(policy="fleet")``.
+"""
+
+from .broker import Broker, FleetConfig, FleetError, run_fleet
+from .worker import worker_main
+
+__all__ = [
+    "Broker",
+    "FleetConfig",
+    "FleetError",
+    "run_fleet",
+    "worker_main",
+]

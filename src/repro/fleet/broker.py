@@ -1,0 +1,807 @@
+"""The fleet broker: leases, heartbeats, reassignment, idempotent merge.
+
+One :class:`Broker` instance drives one batch.  Design points, following
+the deterministic-partitioning discipline of Bobpp (Menouer & Le Cun,
+PAPERS.md) and the replicated-convergence argument of Boucheneb & Imine
+(PAPERS.md):
+
+* **single-threaded state machine** -- every lease, reassignment and merge
+  decision happens in one loop (only the connection *acceptor* runs on a
+  side thread), so the scheduling policy is inspectable and the merged
+  result vector is a pure function of the item values, which workers
+  compute as pure functions of the items.  Whatever order results land in,
+  the merge is input-ordered and therefore byte-identical to a serial run.
+* **leases, not assignments** -- a worker holds an item under a deadline
+  that its heartbeats extend (never past the absolute per-attempt
+  timeout).  A lease whose deadline passes, or whose worker dies, expires
+  and is deterministically requeued (lowest index first) with its fault
+  recorded on the item's :class:`~repro.experiments.supervisor.ItemOutcome`.
+* **at-least-once, idempotent** -- delivery faults (drops, duplicates,
+  partitions) mean a result can arrive zero, one, or two times per
+  attempt.  Zero is recovered by lease expiry; extras are verified against
+  the first and dropped.  With a :class:`~repro.analysis.store.ResultStore`
+  attached, every resolution goes through
+  :meth:`~repro.analysis.store.ResultStore.put_if_absent` under the same
+  key a local run would use -- the first fully-written value wins and
+  becomes canonical for every later duplicate, process, or rerun.
+* **work stealing** -- an idle worker with nothing queued duplicates the
+  oldest single-lease item (a straggler's twin); first answer wins.
+* **degradation ladder** -- a broker that cannot open its socket, or whose
+  worker population collapses past the respawn budget, raises
+  :class:`FleetError`; :func:`run_fleet` then finishes the unresolved
+  remainder on the local supervised pool, which itself degrades
+  ``process -> thread -> serial``.  A fleet batch therefore completes (or
+  fails for an honest, item-level reason) under every fault in the chaos
+  matrix.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing import Process
+from multiprocessing.connection import Connection, Listener, wait
+from threading import Thread
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.store import ResultStore
+from ..errors import ConfigurationError, TransientError
+from ..experiments.supervisor import (
+    FaultEvent,
+    ItemOutcome,
+    ItemTimeout,
+    Supervisor,
+    SupervisorConfig,
+    _env_number,
+)
+from ..testing.faults import FaultInjector, active_plan, is_corrupt_payload
+from . import protocol
+from .worker import worker_main
+
+__all__ = ["FleetConfig", "FleetError", "Broker", "run_fleet"]
+
+
+class FleetError(TransientError):
+    """The fleet substrate failed (broker socket, worker population).
+
+    Not an item failure: the computation itself is fine, the distribution
+    layer is not, so the caller degrades to a local execution policy.
+    """
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Lease/heartbeat/retry policy of one fleet batch.
+
+    ``lease_seconds`` is how long a silent worker keeps an item;
+    heartbeats extend the lease, but never past ``timeout`` (the absolute
+    per-attempt cap, ``None`` for unbounded).  ``respawn_limit`` bounds how
+    many replacement workers the broker may spawn over the batch before it
+    declares the substrate lost and degrades.
+    """
+
+    lease_seconds: float = 30.0
+    heartbeat_seconds: float = 0.5
+    tick_seconds: float = 0.05
+    max_attempts: int = 4
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    steal: bool = True
+    respawn_limit: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if self.heartbeat_seconds <= 0:
+            raise ValueError("heartbeat_seconds must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("the fleet needs at least one attempt per item")
+
+    @property
+    def liveness_seconds(self) -> float:
+        """Silence after which a worker is declared dead (missed beats)."""
+
+        return max(4.0 * self.heartbeat_seconds, 1.0)
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic delay before requeueing after attempt *attempt*."""
+
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+
+    @classmethod
+    def from_environment(
+        cls, supervisor: Optional[SupervisorConfig] = None
+    ) -> "FleetConfig":
+        """Fleet config from ``REPRO_FLEET_*``, retry policy from *supervisor*.
+
+        ``REPRO_FLEET_LEASE`` / ``REPRO_FLEET_HEARTBEAT`` (seconds) and
+        ``REPRO_FLEET_RESPAWN`` (worker respawn budget) tune the fleet;
+        timeout/attempt/backoff policy comes from the supervisor config (or
+        the supervision environment variables, or their defaults), so a
+        chaos run configured for the local pool drives the fleet
+        identically.  Malformed values raise a
+        :class:`~repro.errors.ConfigurationError` naming the variable.
+        """
+
+        supervisor = supervisor or SupervisorConfig.from_environment()
+        sup = supervisor or SupervisorConfig()
+        lease = _env_number(
+            "REPRO_FLEET_LEASE",
+            os.environ.get("REPRO_FLEET_LEASE", "").strip(),
+            float, default=30.0, minimum=0.0,
+        )
+        heartbeat = _env_number(
+            "REPRO_FLEET_HEARTBEAT",
+            os.environ.get("REPRO_FLEET_HEARTBEAT", "").strip(),
+            float, default=0.5, minimum=0.0,
+        )
+        respawn = _env_number(
+            "REPRO_FLEET_RESPAWN",
+            os.environ.get("REPRO_FLEET_RESPAWN", "").strip(),
+            int, default=4, minimum=0,
+        )
+        if lease <= 0:
+            raise ConfigurationError("REPRO_FLEET_LEASE must be positive")
+        if heartbeat <= 0:
+            raise ConfigurationError("REPRO_FLEET_HEARTBEAT must be positive")
+        return cls(
+            lease_seconds=lease,
+            heartbeat_seconds=min(heartbeat, lease / 2.0),
+            max_attempts=sup.max_attempts,
+            timeout=sup.timeout,
+            backoff_base=sup.backoff_base,
+            backoff_factor=sup.backoff_factor,
+            backoff_cap=sup.backoff_cap,
+            steal=sup.speculate,
+            respawn_limit=respawn,
+        )
+
+    def to_supervisor_config(self) -> SupervisorConfig:
+        """The matching local-pool policy for the degradation ladder."""
+
+        return SupervisorConfig(
+            timeout=self.timeout,
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_factor=self.backoff_factor,
+            backoff_cap=self.backoff_cap,
+            speculate=self.steal,
+        )
+
+
+class _Lease:
+    """One outstanding (item, attempt) held by one worker."""
+
+    __slots__ = ("index", "attempt", "worker_id", "started", "deadline",
+                 "absolute_deadline", "speculative")
+
+    def __init__(self, index: int, attempt: int, worker_id: str, started: float,
+                 deadline: float, absolute_deadline: Optional[float],
+                 speculative: bool) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.worker_id = worker_id
+        self.started = started
+        self.deadline = deadline
+        self.absolute_deadline = absolute_deadline
+        self.speculative = speculative
+
+
+class _WorkerHandle:
+    """Broker-side record of one connected worker."""
+
+    __slots__ = ("conn", "worker_id", "pid", "last_seen", "dead")
+
+    def __init__(self, conn: Connection, now: float) -> None:
+        self.conn = conn
+        self.worker_id: Optional[str] = None
+        self.pid: Optional[int] = None
+        self.last_seen = now
+        self.dead = False
+
+
+class Broker:
+    """Drives one fleet batch; one instance per :func:`run_fleet` call."""
+
+    def __init__(
+        self,
+        fn,
+        items: Sequence[object],
+        workers: int,
+        config: FleetConfig,
+        outcomes: List[ItemOutcome],
+        *,
+        store: Optional[ResultStore] = None,
+        query: str = "",
+        keys: Optional[Sequence[Tuple[str, object]]] = None,
+    ) -> None:
+        self.fn = fn
+        self.items = list(items)
+        self.target_workers = max(1, min(workers, len(self.items)))
+        self.config = config
+        self.outcomes = outcomes
+        self.store = store
+        self.query = query
+        self.keys = list(keys) if keys is not None else None
+        n = len(self.items)
+        self.results: List[object] = [None] * n
+        self.resolved = [False] * n
+        self.attempts_started = [0] * n
+        self.first_started: List[Optional[float]] = [None] * n
+        self.unresolved = n
+        self.ready: List[int] = list(range(n))
+        heapq.heapify(self.ready)
+        self.retries: List[Tuple[float, int]] = []
+        self.leases: Dict[Tuple[int, int, str], _Lease] = {}
+        self.handles: Dict[Connection, _WorkerHandle] = {}
+        self.by_worker_id: Dict[str, _WorkerHandle] = {}
+        self.idle: List[str] = []
+        self.delayed: List[Tuple[float, int, Tuple[int, int, object]]] = []
+        self._delay_seq = itertools.count()
+        self.failure: Optional[Tuple[int, BaseException]] = None
+        self.spawned = 0
+        self.processes: List[Process] = []
+        plan = active_plan()
+        self.injector = FaultInjector(plan) if plan is not None else None
+        self.plan = plan
+        self.net_applied: set = set()
+        self._worker_seq = itertools.count()
+        self._listener: Optional[Listener] = None
+        self._accept_thread: Optional[Thread] = None
+        self._pending_conns: List[Connection] = []
+        self._authkey = os.urandom(16)
+        self._closing = False
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> Tuple[List[object], List[ItemOutcome]]:
+        try:
+            self._listener = Listener(("127.0.0.1", 0), authkey=self._authkey)
+        except OSError as exc:
+            raise FleetError(f"broker socket unavailable: {exc}") from exc
+        self._accept_thread = Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        try:
+            self._spawn_workers(self.target_workers)
+            try:
+                self._loop()
+            except OSError as exc:
+                # The socket substrate itself failed mid-batch.
+                raise FleetError(f"broker connection failure: {exc}") from exc
+        finally:
+            self._shutdown()
+        if self.failure is not None:
+            raise self.failure[1]
+        return self.results, self.outcomes
+
+    # ------------------------------------------------------------------ #
+    # Worker population
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError):
+                return
+            except Exception:  # auth failure from a stray client
+                continue
+            self._pending_conns.append(conn)
+
+    def _spawn_workers(self, count: int) -> None:
+        for _ in range(count):
+            worker_id = f"w{next(self._worker_seq)}"
+            try:
+                process = Process(
+                    target=worker_main,
+                    args=(self._listener.address, self._authkey, worker_id,
+                          self.fn, self.config.heartbeat_seconds),
+                    daemon=True,
+                )
+                process.start()
+            except (OSError, pickle.PickleError, AttributeError, TypeError) as exc:
+                raise FleetError(f"could not spawn fleet worker: {exc}") from exc
+            self.processes.append(process)
+            self.spawned += 1
+
+    def _ensure_population(self) -> None:
+        """Respawn dead workers within budget; collapse when it is spent."""
+
+        alive = sum(1 for p in self.processes if p.is_alive())
+        if alive >= min(self.target_workers, self.unresolved or 1):
+            return
+        budget_left = self.target_workers + self.config.respawn_limit - self.spawned
+        if budget_left > 0:
+            deficit = min(self.target_workers, max(1, self.unresolved)) - alive
+            self._spawn_workers(min(deficit, budget_left))
+        elif alive == 0:
+            raise FleetError(
+                f"fleet collapsed: every worker died and the respawn budget "
+                f"({self.config.respawn_limit}) is spent"
+            )
+
+    def _mark_worker_dead(self, handle: _WorkerHandle, reason: str,
+                          now: float) -> None:
+        """Forget a worker and requeue its leases immediately."""
+
+        if handle.dead:
+            return
+        handle.dead = True
+        self.handles.pop(handle.conn, None)
+        if handle.worker_id is not None:
+            self.by_worker_id.pop(handle.worker_id, None)
+            if handle.worker_id in self.idle:
+                self.idle.remove(handle.worker_id)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        for key in [k for k in self.leases if k[2] == handle.worker_id]:
+            lease = self.leases.pop(key)
+            if self.resolved[lease.index]:
+                continue
+            if self._live_leases(lease.index):
+                continue  # a twin is still hopeful
+            self._requeue_or_fail(
+                lease.index, lease.attempt, "worker-dead",
+                f"worker {handle.worker_id} lost ({reason})",
+                TransientError(
+                    f"item {lease.index}: worker {handle.worker_id} died "
+                    f"({reason})"
+                ),
+                now,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lease bookkeeping
+    # ------------------------------------------------------------------ #
+    def _live_leases(self, index: int) -> int:
+        return sum(1 for lease in self.leases.values() if lease.index == index)
+
+    def _drop_leases_for(self, index: int) -> None:
+        for key in [k for k in self.leases if k[0] == index]:
+            del self.leases[key]
+
+    def _grant_lease(self, worker_id: str, index: int, *,
+                     speculative: bool, now: float) -> bool:
+        """Send one lease; returns False when the worker was unusable."""
+
+        handle = self.by_worker_id.get(worker_id)
+        if handle is None or handle.dead:
+            return False
+        config = self.config
+        attempt = (self.attempts_started[index] if speculative
+                   else self.attempts_started[index] + 1)
+        try:
+            handle.conn.send(
+                (protocol.LEASE, index, attempt, self.items[index],
+                 config.lease_seconds)
+            )
+        except (pickle.PickleError, AttributeError, TypeError) as exc:
+            # The *item* refuses to serialize: deterministic, fail fast.
+            outcome = self.outcomes[index]
+            outcome.faults.append(FaultEvent(
+                attempt, "non-retryable",
+                f"item is not picklable: {exc}", "fleet"))
+            outcome.status = "failed"
+            outcome.attempts = attempt
+            self._fail(index, pickle.PicklingError(
+                f"fleet item {index} is not picklable: {exc}"))
+            return True
+        except (OSError, BrokenPipeError, EOFError):
+            self._mark_worker_dead(handle, "send failed", now)
+            return False
+        if not speculative:
+            self.attempts_started[index] = attempt
+        if self.first_started[index] is None:
+            self.first_started[index] = now
+        absolute = None if config.timeout is None else now + config.timeout
+        deadline = now + config.lease_seconds
+        if absolute is not None:
+            deadline = min(deadline, absolute)
+        self.leases[(index, attempt, worker_id)] = _Lease(
+            index, attempt, worker_id, now, deadline, absolute, speculative
+        )
+        if (self.injector is not None
+                and self.injector.partition_planned(index, attempt)
+                and (index, "partition") not in self.net_applied):
+            # Sever the leaseholder's link right after the grant: the worker
+            # computes into a void, stops being heard from, and the lease
+            # must come back through liveness/expiry reassignment.
+            self.net_applied.add((index, "partition"))
+            self.outcomes[index].faults.append(FaultEvent(
+                attempt, "partition",
+                f"connection to {worker_id} severed mid-lease", "fleet"))
+            self._mark_worker_dead(handle, "injected partition", now)
+        return True
+
+    def _requeue_or_fail(self, index: int, attempt: int, kind: str,
+                         detail: str, exc: BaseException, now: float) -> None:
+        outcome = self.outcomes[index]
+        if self.attempts_started[index] >= self.config.max_attempts:
+            outcome.faults.append(FaultEvent(attempt, kind, detail, "fleet"))
+            outcome.status = "failed"
+            outcome.attempts = self.attempts_started[index]
+            self._fail(index, exc)
+            return
+        outcome.faults.append(FaultEvent(
+            attempt, kind, detail, "fleet",
+            backoff=self.config.backoff(attempt)))
+        heapq.heappush(self.retries, (now + self.config.backoff(attempt), index))
+
+    def _fail(self, index: int, exc: BaseException) -> None:
+        if self.failure is None or index < self.failure[0]:
+            self.failure = (index, exc)
+
+    # ------------------------------------------------------------------ #
+    # Result merge (at-least-once made idempotent)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _values_equal(first: object, second: object) -> bool:
+        try:
+            if bool(first == second):
+                return True
+        except Exception:
+            pass
+        try:
+            return pickle.dumps(first) == pickle.dumps(second)
+        except Exception:
+            return False
+
+    def _handle_result(self, index: int, attempt: int, value: object,
+                       now: float) -> None:
+        for key in [k for k in self.leases if k[0] == index and k[1] == attempt]:
+            del self.leases[key]
+        if self.resolved[index]:
+            # At-least-once duplicate (steal twin, reassignment race,
+            # injected duplicate delivery): verify against the canonical
+            # value, then drop.
+            verified = self._values_equal(self.results[index], value)
+            self.outcomes[index].faults.append(FaultEvent(
+                attempt, "duplicate-dropped",
+                "verified identical" if verified
+                else "MISMATCH against first-written value", "fleet"))
+            return
+        if is_corrupt_payload(value):
+            self._requeue_or_fail(
+                index, attempt, "corrupt", "corrupt worker payload",
+                TransientError(
+                    f"item {index}: corrupt worker payload persisted across "
+                    f"{attempt} attempts"),
+                now,
+            )
+            return
+        if self.store is not None and self.keys is not None:
+            graph_hash, params = self.keys[index]
+            value, _stored = self.store.put_if_absent(
+                graph_hash, self.query, params, value
+            )
+        self.results[index] = value
+        self.resolved[index] = True
+        self.unresolved -= 1
+        self._drop_leases_for(index)
+        outcome = self.outcomes[index]
+        outcome.status = "ok"
+        outcome.attempts = max(1, attempt)
+        outcome.policy = "fleet"
+        outcome.wall_time = now - (self.first_started[index] or now)
+
+    def _handle_error(self, index: int, attempt: int, exc: BaseException,
+                      now: float) -> None:
+        for key in [k for k in self.leases if k[0] == index and k[1] == attempt]:
+            del self.leases[key]
+        if self.resolved[index]:
+            return
+        if self._live_leases(index):
+            return  # a twin attempt is still hopeful
+        detail = f"{type(exc).__name__}: {exc}"
+        if not Supervisor._is_retryable(exc):
+            outcome = self.outcomes[index]
+            outcome.faults.append(
+                FaultEvent(attempt, "non-retryable", detail, "fleet"))
+            outcome.status = "failed"
+            outcome.attempts = max(attempt, self.attempts_started[index])
+            self._fail(index, exc)
+            return
+        self._requeue_or_fail(index, attempt, "error", detail, exc, now)
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def _handle_message(self, handle: _WorkerHandle, message: tuple,
+                        now: float) -> None:
+        kind = message[0]
+        handle.last_seen = now
+        if kind == protocol.HELLO:
+            _, worker_id, pid = message
+            handle.worker_id = worker_id
+            handle.pid = pid
+            self.by_worker_id[worker_id] = handle
+            return
+        if kind == protocol.READY:
+            worker_id = message[1]
+            if worker_id not in self.idle:
+                self.idle.append(worker_id)
+            return
+        if kind == protocol.HEARTBEAT:
+            _, worker_id, index, attempt = message
+            if index == protocol.IDLE_INDEX:
+                return
+            lease = self.leases.get((index, attempt, worker_id))
+            if lease is not None:
+                extended = now + self.config.lease_seconds
+                if lease.absolute_deadline is not None:
+                    extended = min(extended, lease.absolute_deadline)
+                lease.deadline = max(lease.deadline, extended)
+            return
+        if kind == protocol.RESULT:
+            _, worker_id, index, attempt, value = message
+            self._deliver_result(index, attempt, value, now)
+            return
+        if kind == protocol.ERROR:
+            _, worker_id, index, attempt, exc = message
+            self._handle_error(index, attempt, exc, now)
+            return
+
+    def _deliver_result(self, index: int, attempt: int, value: object,
+                        now: float) -> None:
+        """Apply the planned network fault, then merge the delivery."""
+
+        decision = None
+        if self.injector is not None:
+            key = (index, attempt)
+            if key not in self.net_applied:
+                self.net_applied.add(key)
+                decision = self.injector.decide_network(index, attempt)
+        if decision == "drop":
+            # The message vanishes in flight; nothing is merged, no lease
+            # is cleared -- recovery is lease expiry + reassignment, which
+            # is exactly what at-least-once delivery promises.
+            self.outcomes[index].faults.append(FaultEvent(
+                attempt, "net-drop", "result message dropped in flight",
+                "fleet"))
+            return
+        if decision == "delay":
+            self.outcomes[index].faults.append(FaultEvent(
+                attempt, "net-delay",
+                f"result message held {self.plan.delay_seconds}s", "fleet"))
+            heapq.heappush(self.delayed, (
+                now + self.plan.delay_seconds, next(self._delay_seq),
+                (index, attempt, value)))
+            return
+        self._handle_result(index, attempt, value, now)
+        if decision == "dup":
+            # Broker-side duplicate delivery: the second copy must travel
+            # the verified-and-dropped path, proving idempotency.
+            self.outcomes[index].faults.append(FaultEvent(
+                attempt, "net-dup", "result message delivered twice",
+                "fleet"))
+            self._handle_result(index, attempt, value, now)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        config = self.config
+        while self.unresolved and self.failure is None:
+            now = time.monotonic()
+            for conn in self._drain_pending():
+                self.handles[conn] = _WorkerHandle(conn, now)
+            while self.delayed and self.delayed[0][0] <= now:
+                _, _, (index, attempt, value) = heapq.heappop(self.delayed)
+                self._handle_result(index, attempt, value, now)
+            while self.retries and self.retries[0][0] <= now:
+                _, index = heapq.heappop(self.retries)
+                if not self.resolved[index]:
+                    heapq.heappush(self.ready, index)
+            self._assign_work(now)
+            if self.unresolved == 0 or self.failure is not None:
+                break
+            self._poll_messages(config.tick_seconds)
+            now = time.monotonic()
+            self._sweep_leases(now)
+            self._sweep_workers(now)
+            self._ensure_population()
+
+    def _drain_pending(self) -> List[Connection]:
+        drained: List[Connection] = []
+        while self._pending_conns:
+            drained.append(self._pending_conns.pop(0))
+        return drained
+
+    def _assign_work(self, now: float) -> None:
+        config = self.config
+        while self.idle and self.ready:
+            index = heapq.heappop(self.ready)
+            if self.resolved[index] or self._live_leases(index):
+                continue
+            worker_id = self.idle.pop(0)
+            if not self._grant_lease(worker_id, index, speculative=False,
+                                     now=now):
+                heapq.heappush(self.ready, index)
+            if self.failure is not None:
+                return
+        if not config.steal or self.ready or self.retries or not self.idle:
+            return
+        # Work stealing: nothing queued, workers idle, leases outstanding.
+        # Duplicate the oldest single-lease straggler; first answer wins.
+        candidates = sorted(
+            (lease for lease in self.leases.values()
+             if not lease.speculative
+             and not self.resolved[lease.index]
+             and self._live_leases(lease.index) == 1),
+            key=lambda lease: (lease.started, lease.index),
+        )
+        for lease in candidates:
+            if not self.idle:
+                break
+            worker_id = self.idle.pop(0)
+            if worker_id == lease.worker_id:
+                # The straggler itself went idle (its result is in flight
+                # or was dropped); don't hand its own item back to it.
+                self.idle.append(worker_id)
+                if len(self.idle) == 1:
+                    break
+                continue
+            self.outcomes[lease.index].faults.append(FaultEvent(
+                lease.attempt, "steal",
+                f"straggler duplicated onto {worker_id}", "fleet"))
+            self._grant_lease(worker_id, lease.index, speculative=True,
+                              now=now)
+
+    def _poll_messages(self, tick: float) -> None:
+        conns = list(self.handles)
+        if not conns:
+            time.sleep(tick)
+            return
+        try:
+            ready = wait(conns, timeout=tick)
+        except OSError:
+            ready = []
+        now = time.monotonic()
+        for conn in ready:
+            handle = self.handles.get(conn)
+            if handle is None:
+                continue
+            while not handle.dead:
+                try:
+                    if not conn.poll(0):
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._mark_worker_dead(handle, "connection closed", now)
+                    break
+                self._handle_message(handle, message, now)
+
+    def _sweep_leases(self, now: float) -> None:
+        for key, lease in list(self.leases.items()):
+            if now < lease.deadline:
+                continue
+            del self.leases[key]
+            if self.resolved[lease.index] or self._live_leases(lease.index):
+                continue
+            timed_out = (lease.absolute_deadline is not None
+                         and now >= lease.absolute_deadline)
+            kind = "timeout" if timed_out else "lease-expired"
+            self._requeue_or_fail(
+                lease.index, lease.attempt, kind,
+                f"lease on {lease.worker_id} expired after "
+                f"{now - lease.started:.2f}s",
+                ItemTimeout(
+                    f"item {lease.index} exhausted {self.attempts_started[lease.index]} "
+                    f"lease(s) without an answer"),
+                now,
+            )
+
+    def _sweep_workers(self, now: float) -> None:
+        liveness = self.config.liveness_seconds
+        for handle in list(self.handles.values()):
+            if now - handle.last_seen > liveness:
+                self._mark_worker_dead(handle, "missed heartbeats", now)
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def _shutdown(self) -> None:
+        self._closing = True
+        for handle in list(self.handles.values()):
+            try:
+                handle.conn.send((protocol.SHUTDOWN,))
+            except (OSError, ValueError):
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for handle in list(self.handles.values()):
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.handles.clear()
+        self.by_worker_id.clear()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+        deadline = time.monotonic() + 2.0
+        for process in self.processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            if process.is_alive():
+                process.join(timeout=1.0)
+
+
+def run_fleet(
+    fn,
+    items: Sequence[object],
+    *,
+    workers: int,
+    config: Optional[FleetConfig] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    store: Optional[ResultStore] = None,
+    query: str = "",
+    keys: Optional[Sequence[Tuple[str, object]]] = None,
+) -> Tuple[List[object], List[ItemOutcome]]:
+    """Run one batch on the fleet, degrading locally when the fleet dies.
+
+    The degradation ladder: a healthy broker distributes everything; a
+    :class:`FleetError` (unopenable socket, collapsed worker population)
+    hands the unresolved remainder to the local
+    :class:`~repro.experiments.supervisor.Supervisor` on the process
+    policy, which itself degrades ``process -> thread -> serial``.  Item
+    results already resolved by the fleet are kept; every degraded item
+    carries a ``fleet-degraded`` :class:`FaultEvent` so the report's fault
+    history shows exactly where the batch ran.
+    """
+
+    items = list(items)
+    fleet_config = config or FleetConfig.from_environment(supervisor)
+    outcomes = [ItemOutcome(index=i, policy="fleet") for i in range(len(items))]
+    if not items:
+        return [], outcomes
+    broker = Broker(
+        fn, items, workers, fleet_config, outcomes,
+        store=store, query=query, keys=keys,
+    )
+    try:
+        return broker.run()
+    except FleetError as exc:
+        residual = [i for i in range(len(items)) if not broker.resolved[i]]
+        for index in residual:
+            outcomes[index].faults.append(FaultEvent(
+                max(1, broker.attempts_started[index]), "fleet-degraded",
+                f"fleet unavailable, degrading to local pool: {exc}",
+                "fleet"))
+        runner = Supervisor(
+            "process", max(1, workers), fleet_config.to_supervisor_config()
+        )
+        values, local_outcomes = runner.run(fn, [items[i] for i in residual])
+        for local_index, index in enumerate(residual):
+            value = values[local_index]
+            if store is not None and keys is not None:
+                graph_hash, params = keys[index]
+                value, _stored = store.put_if_absent(
+                    graph_hash, query, params, value
+                )
+            broker.results[index] = value
+            local = local_outcomes[local_index]
+            outcome = outcomes[index]
+            outcome.status = local.status
+            outcome.attempts = broker.attempts_started[index] + local.attempts
+            outcome.policy = local.policy
+            outcome.speculative = local.speculative
+            outcome.wall_time += local.wall_time
+            outcome.faults.extend(local.faults)
+        return broker.results, outcomes

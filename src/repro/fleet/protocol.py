@@ -1,0 +1,61 @@
+"""Wire protocol between the fleet broker and its workers.
+
+Messages are plain tuples shipped over :mod:`multiprocessing.connection`
+(pickled by the connection itself), first element the message kind:
+
+worker -> broker
+    ``(HELLO, worker_id, pid)``
+        First message after connecting; registers the worker.
+    ``(READY, worker_id)``
+        The worker is idle and wants a lease.  The broker answers with a
+        ``LEASE`` (possibly much later) or ``SHUTDOWN`` -- never with a
+        busy-wait "try again" message; the worker heartbeats while parked.
+    ``(HEARTBEAT, worker_id, index, attempt)``
+        Liveness beacon, sent every ``heartbeat_seconds`` -- with the lease
+        being worked on, or ``(-1, 0)`` while idle.  Extends the matching
+        lease's deadline (never past the absolute per-attempt timeout).
+    ``(RESULT, worker_id, index, attempt, value)``
+        The computed value for a lease.  At-least-once: the broker may see
+        the same ``(index, attempt)`` twice (injected duplicates, steal
+        twins, reassignment races) and must verify-and-drop extras.
+    ``(ERROR, worker_id, index, attempt, exception)``
+        The computation raised.  The exception object travels when it is
+        picklable; otherwise a :class:`~repro.errors.TransientError`
+        carrying its ``repr`` stands in.
+
+broker -> worker
+    ``(LEASE, index, attempt, item, lease_seconds)``
+        Work: apply the task function to *item*.  The worker holds the
+        lease until it answers or the broker gives up on it.
+    ``(SHUTDOWN,)``
+        The batch is decided; exit the main loop.
+
+The protocol is deliberately request-driven (workers pull leases; the
+broker never pushes unsolicited work), which is what makes deterministic
+reassignment possible: every lease decision happens in one place, the
+broker's single-threaded state machine.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HELLO",
+    "READY",
+    "HEARTBEAT",
+    "RESULT",
+    "ERROR",
+    "LEASE",
+    "SHUTDOWN",
+    "IDLE_INDEX",
+]
+
+HELLO = "hello"
+READY = "ready"
+HEARTBEAT = "heartbeat"
+RESULT = "result"
+ERROR = "error"
+LEASE = "lease"
+SHUTDOWN = "shutdown"
+
+#: The ``index`` a heartbeat carries while the worker holds no lease.
+IDLE_INDEX = -1

@@ -1,0 +1,144 @@
+"""Fleet worker process: lease, compute, heartbeat, answer, repeat.
+
+One :func:`worker_main` per worker process.  The worker is deliberately
+dumb: it pulls a lease, applies the task function, answers, and heartbeats
+all the while -- every robustness decision (reassignment, duplicates,
+budgets, degradation) lives in the broker, where it can be made
+deterministically.  Workers rebuild the ambient
+:class:`~repro.testing.faults.FaultPlan` from the inherited environment, so
+a chaos run perturbs fleet workers exactly as it perturbs local pool
+workers, plus the fleet-only ``leasekill`` fault (hard ``os._exit`` while
+holding a lease).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from multiprocessing.connection import Client
+from typing import Callable, Optional, Tuple
+
+from ..errors import TransientError
+from ..testing.faults import FaultInjector, active_plan
+from . import protocol
+
+__all__ = ["worker_main"]
+
+
+def _heartbeat_loop(send: Callable[[tuple], bool], worker_id: str,
+                    lease: Tuple[int, int], stop: threading.Event,
+                    interval: float) -> None:
+    index, attempt = lease
+    while not stop.wait(interval):
+        if not send((protocol.HEARTBEAT, worker_id, index, attempt)):
+            return
+
+
+def _shippable_error(exc: BaseException) -> BaseException:
+    """*exc* if it survives pickling, else a stand-in carrying its repr."""
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return TransientError(f"worker exception was not picklable: {exc!r}")
+
+
+def worker_main(address, authkey: bytes, worker_id: str, fn: Callable,
+                heartbeat_seconds: float) -> None:
+    """Entry point of one fleet worker process.
+
+    Connects to the broker at *address*, then loops: announce readiness,
+    wait for a lease (heartbeating while parked), compute ``fn(item)``
+    under a heartbeat thread, send the result or the exception.  Every
+    connection failure -- the broker died, the socket was severed by an
+    injected partition -- is an orderly exit: the broker's liveness
+    tracking owns the recovery, the worker has nothing useful to add.
+    """
+
+    try:
+        conn = Client(address, authkey=authkey)
+    except (OSError, EOFError):  # broker already gone; nothing to recover
+        return
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> bool:
+        try:
+            with send_lock:
+                conn.send(message)
+            return True
+        except (OSError, EOFError, BrokenPipeError):
+            return False
+
+    if not send((protocol.HELLO, worker_id, os.getpid())):
+        return
+    try:
+        while True:
+            if not send((protocol.READY, worker_id)):
+                return
+            # Park until the broker answers, proving liveness while idle.
+            while not conn.poll(heartbeat_seconds):
+                if not send((protocol.HEARTBEAT, worker_id,
+                             protocol.IDLE_INDEX, 0)):
+                    return
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == protocol.SHUTDOWN:
+                return
+            if message[0] != protocol.LEASE:
+                continue  # unknown message: ignore, stay alive
+            _, index, attempt, item, _lease_seconds = message
+            _run_lease(send, worker_id, fn, index, attempt, item,
+                       heartbeat_seconds)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _run_lease(send, worker_id: str, fn: Callable, index: int, attempt: int,
+               item, heartbeat_seconds: float) -> None:
+    """Compute one lease under a heartbeat thread and answer the broker."""
+
+    plan = active_plan()
+    injector = FaultInjector(plan) if plan is not None else None
+    if injector is not None and injector.leasekill_planned(index, attempt):
+        # The planned mid-lease death: the broker granted the lease, the
+        # heartbeats are about to stop, and recovery must come from lease
+        # expiry + reassignment, not from any cleanup code here.
+        os._exit(13)
+    stop = threading.Event()
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(send, worker_id, (index, attempt), stop, heartbeat_seconds),
+        daemon=True,
+    )
+    beater.start()
+    error: Optional[BaseException] = None
+    value = None
+    try:
+        try:
+            marker = None
+            if injector is not None:
+                marker = injector.perturb(index, attempt, in_worker_process=True)
+            value = marker if marker is not None else fn(item)
+        except Exception as exc:
+            error = exc
+    finally:
+        stop.set()
+        beater.join(timeout=max(1.0, 4 * heartbeat_seconds))
+    if error is not None:
+        send((protocol.ERROR, worker_id, index, attempt, _shippable_error(error)))
+        return
+    try:
+        send((protocol.RESULT, worker_id, index, attempt, value))
+    except (pickle.PickleError, AttributeError, TypeError) as exc:
+        # The *value* refused to serialize -- deterministic, so report it
+        # as an error the broker will classify as non-retryable.
+        send((protocol.ERROR, worker_id, index, attempt,
+              pickle.PicklingError(f"result for item {index} is not picklable: {exc}")))

@@ -399,3 +399,109 @@ class TestStoreConcurrency:
         path = store.put("h", "q", None, "v")
         assert (path.parent / ".lock").exists()
         assert store.entry_count() == 1
+
+
+def _lambda_result(x):
+    return lambda: x  # deliberately unpicklable return value
+
+
+# --------------------------------------------------------------------------- #
+# PR-8 satellites: pickling failures, environment validation, network plans
+# --------------------------------------------------------------------------- #
+class TestPicklingFailFast:
+    def test_unpicklable_result_is_not_retried(self):
+        engine = BatchEngine("process", workers=2, supervisor=_FAST_CONFIG)
+        t0 = time.monotonic()
+        with pytest.raises((pickle.PickleError, AttributeError, TypeError)):
+            engine.map_with_outcomes(_lambda_result, list(range(3)))
+        # Deterministic failure: one attempt, no retry/backoff burn.
+        assert time.monotonic() - t0 < 5.0
+
+    def test_pickle_errors_classified_non_retryable(self):
+        from repro.experiments.supervisor import Supervisor
+
+        assert not Supervisor._is_retryable(pickle.PicklingError("no"))
+        assert not Supervisor._is_retryable(
+            AttributeError("Can't pickle local object ...")
+        )
+        # Only the serialization flavour fails fast; a plain AttributeError
+        # keeps the generic worker-exception (retryable) classification.
+        assert Supervisor._is_retryable(AttributeError("plain attribute miss"))
+
+
+class TestEnvironmentValidation:
+    @pytest.mark.parametrize(
+        "variable, value",
+        [
+            ("REPRO_TIMEOUT", "-5"),
+            ("REPRO_TIMEOUT", "abc"),
+            ("REPRO_RETRIES", "0"),
+            ("REPRO_RETRIES", "abc"),
+            ("REPRO_RETRIES", "2.5"),
+        ],
+    )
+    def test_malformed_supervision_env_names_the_variable(
+        self, monkeypatch, variable, value
+    ):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv(variable, value)
+        with pytest.raises(ConfigurationError, match=variable):
+            SupervisorConfig.from_environment()
+
+    def test_zero_timeout_means_no_deadline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT", "0")
+        config = SupervisorConfig.from_environment()
+        assert config is not None and config.timeout is None
+
+    def test_malformed_fault_spec_names_the_variable(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_FAULTS", "crash:not-a-rate")
+        with pytest.raises(ConfigurationError, match="REPRO_FAULTS"):
+            active_plan()
+
+
+class TestNetworkFaultPlans:
+    def test_network_spec_round_trips(self):
+        spec = "drop:0.2,dup@3,partition@1,leasekill@2,delaydur:0.5,seed:4"
+        plan = FaultPlan.parse(spec)
+        assert plan.drop_rate == 0.2
+        assert plan.dup_at == frozenset({3})
+        assert plan.partition_at == frozenset({1})
+        assert plan.leasekill_at == frozenset({2})
+        assert plan.delay_seconds == 0.5
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_network_rates_validated_separately_from_worker_rates(self):
+        # Worker and network rate budgets are independent; each must be a
+        # probability distribution on its own.
+        FaultPlan.parse("crash:0.6,drop:0.6")  # fine: different domains
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop:0.7,delay:0.5")
+
+    def test_planted_only_kinds_reject_rate_form(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("partition:0.5")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("leasekill:0.1")
+
+    def test_network_decisions_deterministic_and_domain_separated(self):
+        plan = FaultPlan.parse("drop:0.5,crash:0.5,seed:21")
+        injector = FaultInjector(plan)
+        net = [injector.decide_network(i, 1) for i in range(32)]
+        assert net == [injector.decide_network(i, 1) for i in range(32)]
+        worker = [injector.decide(i, 1) for i in range(32)]
+        # Separate hash domains: the two fault streams must not mirror
+        # each other index for index.
+        assert [d is not None for d in net] != [d is not None for d in worker]
+
+    def test_planted_network_faults_fire_once(self):
+        plan = FaultPlan.parse("dup@4,partition@5,leasekill@6")
+        injector = FaultInjector(plan)
+        assert injector.decide_network(4, 1) == "dup"
+        assert injector.decide_network(4, 2) is None
+        assert injector.partition_planned(5, 1)
+        assert not injector.partition_planned(5, 2)
+        assert injector.leasekill_planned(6, 1)
+        assert not injector.leasekill_planned(6, 2)

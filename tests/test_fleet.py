@@ -1,0 +1,315 @@
+"""Fleet tests: broker/worker leases, chaos matrix, degradation ladder.
+
+The contract under test extends the chaos invariant across process
+boundaries: however the network drops, delays, duplicates, or partitions
+result messages -- and however workers die mid-lease -- a
+``BatchEngine("fleet")`` batch completes with results (and reports)
+byte-identical to a serial fault-free run, every item terminal through an
+:class:`ItemOutcome`, nothing lost, nothing double-counted.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.analysis.store import ResultStore
+from repro.codes import benchmark_suite
+from repro.core import superscalar
+from repro.errors import ConfigurationError, SolverError
+from repro.experiments import (
+    BatchEngine,
+    SupervisorConfig,
+    run_pipeline_experiment,
+)
+from repro.fleet import FleetConfig, FleetError, run_fleet
+import repro.fleet.broker as broker_mod
+
+# Module-level workers so fleet worker processes can apply them.
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raise_solver_error(x: int) -> int:
+    raise SolverError(f"no solution for {x}")
+
+
+def _unpicklable_result(x: int):
+    return lambda: x  # noqa: E731 - deliberately refuses to pickle
+
+
+#: Generous per-attempt timeout -- fleet tests tune *leases* down instead.
+_FLEET_SUP = SupervisorConfig(
+    timeout=10.0, max_attempts=4, backoff_base=0.01, backoff_cap=0.05
+)
+
+
+@pytest.fixture
+def fast_fleet_env(monkeypatch):
+    """Short leases and fast heartbeats so fault recovery runs in ms."""
+
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.setenv("REPRO_FLEET_LEASE", "0.6")
+    monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "0.1")
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+class TestFleetConfig:
+    def test_defaults_are_sane(self):
+        config = FleetConfig()
+        assert config.lease_seconds > config.heartbeat_seconds
+        assert config.liveness_seconds >= 2 * config.heartbeat_seconds
+        assert config.backoff(1) <= config.backoff(3) <= config.backoff_cap
+
+    def test_inherits_retry_policy_from_supervisor(self):
+        sup = SupervisorConfig(timeout=7.0, max_attempts=6, speculate=False)
+        config = FleetConfig.from_environment(sup)
+        assert config.timeout == 7.0
+        assert config.max_attempts == 6
+        assert config.steal is False
+        back = config.to_supervisor_config()
+        assert back.timeout == 7.0 and back.max_attempts == 6
+
+    def test_environment_tunes_lease_and_heartbeat(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_LEASE", "2.5")
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "0.25")
+        config = FleetConfig.from_environment(SupervisorConfig())
+        assert config.lease_seconds == 2.5
+        assert config.heartbeat_seconds == 0.25
+
+    @pytest.mark.parametrize(
+        "variable, value",
+        [
+            ("REPRO_FLEET_LEASE", "soon"),
+            ("REPRO_FLEET_LEASE", "-2"),
+            ("REPRO_FLEET_LEASE", "0"),
+            ("REPRO_FLEET_HEARTBEAT", "often"),
+            ("REPRO_FLEET_HEARTBEAT", "0"),
+            ("REPRO_FLEET_RESPAWN", "-1"),
+            ("REPRO_FLEET_RESPAWN", "many"),
+        ],
+    )
+    def test_malformed_environment_names_the_variable(
+        self, monkeypatch, variable, value
+    ):
+        monkeypatch.setenv(variable, value)
+        with pytest.raises(ConfigurationError, match=variable):
+            FleetConfig.from_environment(SupervisorConfig())
+
+    def test_invalid_literals_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(lease_seconds=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(heartbeat_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FleetConfig(max_attempts=0)
+
+
+# --------------------------------------------------------------------------- #
+# Clean runs
+# --------------------------------------------------------------------------- #
+class TestFleetBasics:
+    def test_results_in_input_order(self, fast_fleet_env):
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        results, outcomes = engine.map_with_outcomes(_square, list(range(8)))
+        assert results == [x * x for x in range(8)]
+        assert [o.index for o in outcomes] == list(range(8))
+        assert all(o.status == "ok" and o.policy == "fleet" for o in outcomes)
+
+    def test_empty_batch(self, fast_fleet_env):
+        results, outcomes = run_fleet(_square, [], workers=3)
+        assert results == [] and outcomes == []
+
+    def test_from_spec(self):
+        engine = BatchEngine.from_spec("fleet:3")
+        assert engine.policy == "fleet" and engine.workers == 3
+
+    def test_unknown_policy_still_rejected(self):
+        with pytest.raises(ValueError):
+            BatchEngine("armada")
+
+    def test_store_rendezvous_and_warm_rerun(self, fast_fleet_env, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        key_fn = lambda x: (f"g{x}", {"x": x})  # noqa: E731
+        results, outcomes = engine.map_with_outcomes(
+            _square, list(range(6)), store=store, query="q", key_fn=key_fn
+        )
+        assert results == [x * x for x in range(6)]
+        # Every result rendezvoused through the store as it arrived.
+        assert store.get("g3", "q", {"x": 3}) == 9
+        warm, warm_outcomes = engine.map_with_outcomes(
+            _square, list(range(6)), store=store, query="q", key_fn=key_fn
+        )
+        assert warm == results
+        assert all(o.status == "stored" for o in warm_outcomes)
+
+    def test_item_failure_propagates_like_a_plain_loop(self, fast_fleet_env):
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        with pytest.raises(SolverError):
+            engine.map(_raise_solver_error, list(range(4)))
+
+    def test_unpicklable_result_fails_fast(self, fast_fleet_env):
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        t0 = time.monotonic()
+        with pytest.raises(pickle.PickleError):
+            engine.map(_unpicklable_result, list(range(3)))
+        # Deterministic failure: no retry storm, no lease-expiry waits.
+        assert time.monotonic() - t0 < 8.0
+
+
+# --------------------------------------------------------------------------- #
+# Chaos matrix
+# --------------------------------------------------------------------------- #
+class TestFleetChaos:
+    def test_network_fault_matrix_keeps_results_exact(
+        self, fast_fleet_env, monkeypatch
+    ):
+        items = list(range(10))
+        reference = [x * x for x in items]
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "drop@1,dup@2,partition@3,leasekill@4,delay@5,drop:0.1,seed:7",
+        )
+        engine = BatchEngine("fleet", workers=3, supervisor=_FLEET_SUP)
+        results, outcomes = engine.map_with_outcomes(_square, items)
+        assert results == reference
+        # Every item terminal, none lost, none double-counted.
+        assert [o.index for o in outcomes] == items
+        assert all(o.status == "ok" for o in outcomes)
+        kinds = {e.kind for o in outcomes for e in o.faults}
+        assert "net-drop" in kinds
+        assert "net-dup" in kinds and "duplicate-dropped" in kinds
+        assert "partition" in kinds
+        assert "net-delay" in kinds
+        # Drops, partitions and the mid-lease kill all force reattempts.
+        assert any(o.attempts > 1 for o in outcomes)
+
+    def test_worker_killed_mid_lease_is_reassigned(
+        self, fast_fleet_env, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "leasekill@2,seed:11")
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        results, outcomes = engine.map_with_outcomes(_square, list(range(5)))
+        assert results == [x * x for x in range(5)]
+        killed = outcomes[2]
+        assert killed.status == "ok" and killed.attempts >= 2
+        kinds = [e.kind for e in killed.faults]
+        assert "worker-dead" in kinds or "lease-expired" in kinds
+
+    def test_duplicate_delivery_is_verified_and_dropped(
+        self, fast_fleet_env, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "dup@0,dup@3,seed:5")
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        results, outcomes = engine.map_with_outcomes(_square, list(range(6)))
+        assert results == [x * x for x in range(6)]
+        for index in (0, 3):
+            events = [e for e in outcomes[index].faults
+                      if e.kind == "duplicate-dropped"]
+            assert events and all("verified" in e.detail for e in events)
+
+    def test_chaos_with_store_writes_each_key_once(
+        self, fast_fleet_env, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "dup@1,drop@2,leasekill@3,seed:9")
+        store = ResultStore(tmp_path)
+        engine = BatchEngine("fleet", workers=3, supervisor=_FLEET_SUP)
+        key_fn = lambda x: (f"g{x}", {"x": x})  # noqa: E731
+        results, _ = engine.map_with_outcomes(
+            _square, list(range(8)), store=store, query="q", key_fn=key_fn
+        )
+        assert results == [x * x for x in range(8)]
+        for x in range(8):
+            assert store.get(f"g{x}", "q", {"x": x}) == x * x
+
+    def test_fleet_chaos_report_byte_identical_to_serial_reference(
+        self, fast_fleet_env, monkeypatch
+    ):
+        suite = benchmark_suite(max_size=10)
+        machine = superscalar(int_registers=6, float_registers=6)
+        kwargs = dict(suite=suite, machine=machine, registers=6,
+                      compare_baseline=False)
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        reference = run_pipeline_experiment(**kwargs)
+        n_items = len(reference.outcomes)
+        assert n_items >= 3
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "drop@0,dup@1,leasekill@2,seed:17"
+        )
+        fleet_engine = BatchEngine("fleet", workers=3, supervisor=_FLEET_SUP)
+        chaos = run_pipeline_experiment(engine=fleet_engine, **kwargs)
+
+        assert chaos.to_table() == reference.to_table()
+        assert len(chaos.item_outcomes) == n_items
+        assert all(o.status == "ok" for o in chaos.item_outcomes)
+        assert sum(1 for o in chaos.item_outcomes if o.faulted) >= 2
+
+
+# --------------------------------------------------------------------------- #
+# Degradation ladder
+# --------------------------------------------------------------------------- #
+class TestFleetDegradation:
+    def test_unopenable_socket_degrades_to_local_pool(
+        self, fast_fleet_env, monkeypatch
+    ):
+        def no_listener(*args, **kwargs):
+            raise OSError("sockets disabled")
+
+        monkeypatch.setattr(broker_mod, "Listener", no_listener)
+        engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+        results, outcomes = engine.map_with_outcomes(_square, list(range(6)))
+        assert results == [x * x for x in range(6)]
+        for outcome in outcomes:
+            assert outcome.status == "ok"
+            assert outcome.policy in ("process", "thread", "serial")
+            assert any(e.kind == "fleet-degraded" for e in outcome.faults)
+
+    def test_collapsed_population_degrades_mid_batch(
+        self, fast_fleet_env, monkeypatch
+    ):
+        # Every item's first attempt kills its worker and the respawn
+        # budget is zero: the worker population collapses and the batch
+        # must finish on the local ladder instead.
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            ",".join(f"leasekill@{i}" for i in range(4)) + ",seed:3",
+        )
+        monkeypatch.setenv("REPRO_FLEET_RESPAWN", "0")
+        results, outcomes = run_fleet(
+            _square, list(range(4)), workers=2, supervisor=_FLEET_SUP
+        )
+        assert results == [x * x for x in range(4)]
+        kinds = {e.kind for o in outcomes for e in o.faults}
+        assert "fleet-degraded" in kinds
+
+    def test_fleet_error_is_transient(self):
+        assert FleetError("substrate gone").retryable()
+
+
+# --------------------------------------------------------------------------- #
+# Degraded store rendezvous
+# --------------------------------------------------------------------------- #
+def test_degraded_run_still_writes_the_store(
+    fast_fleet_env, monkeypatch, tmp_path
+):
+    def no_listener(*args, **kwargs):
+        raise OSError("sockets disabled")
+
+    monkeypatch.setattr(broker_mod, "Listener", no_listener)
+    store = ResultStore(tmp_path)
+    engine = BatchEngine("fleet", workers=2, supervisor=_FLEET_SUP)
+    key_fn = lambda x: (f"g{x}", {"x": x})  # noqa: E731
+    results, _ = engine.map_with_outcomes(
+        _square, list(range(4)), store=store, query="q", key_fn=key_fn
+    )
+    assert results == [x * x for x in range(4)]
+    assert store.get("g2", "q", {"x": 2}) == 4
