@@ -1,0 +1,295 @@
+"""Benchmark: the vectorized flat-core kernels and zero-copy dispatch.
+
+Three claims ride on PR 9's buffer kernels, each checked here with numbers
+that land in ``BENCH_vector.json`` (via ``REPRO_BENCH_JSON``):
+
+* **Kernel parity and per-kernel wins** -- every flatbuf kernel is timed on
+  realistic workloads under each available backend against the exact PR-6
+  scalar reference, asserting identical outputs.  This is the per-kernel
+  before/after evidence for the conversions (the engine-level stage deltas
+  live in ``bench_reduction_incremental.py::test_vectorization_stage_deltas``).
+* **Byte-identity at scale** -- full reductions of the scale superblocks run
+  under every backend and must produce byte-identical reports.
+* **Zero-copy dispatch** -- packing scale-tier task items through the
+  shared-memory exporter must shrink the pickled payload per item by
+  ``REPRO_SHM_BYTES_RATIO_MIN`` (default 10x) and a process dispatch must
+  attach rather than fall back (counter-asserted).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the populations for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import time
+
+from conftest import load_json_artifact, write_json_artifact
+
+from repro.analysis import flatbuf, shm
+from repro.codes import scale_suite
+from repro.experiments import section
+from repro.reduction import reduce_saturation_heuristic
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+NEG_INF = flatbuf.NEG_INF
+
+
+def _record(section_name, payload):
+    path = os.environ.get("REPRO_BENCH_JSON", "")
+    if not path:
+        return
+    data = load_json_artifact(path)
+    data["smoke"] = _SMOKE
+    data[section_name] = payload
+    write_json_artifact(path, data)
+
+
+def _backends():
+    specs = ["off", "stdlib"]
+    if flatbuf.numpy_available():
+        specs.append("numpy")
+    return specs
+
+
+def _random_row(rng, n, p_inf=0.4):
+    return [
+        NEG_INF if rng.random() < p_inf else float(rng.randint(-40, 300))
+        for _ in range(n)
+    ]
+
+
+def test_kernel_parity_and_timings():
+    """Time each kernel per backend on identical inputs; outputs must match."""
+
+    rng = random.Random(8808)
+    n = 60 if _SMOKE else 240
+    reps = 40 if _SMOKE else 200
+    rows = [_random_row(rng, n) for _ in range(reps)]
+    dsts = [_random_row(rng, n, p_inf=0.6) for _ in range(reps)]
+    shifts = [float(rng.randint(0, 80)) for _ in range(reps)]
+    vids = rng.sample(range(n), n // 2)
+    dws = [rng.randint(0, 3) for _ in vids]
+    reads = [rng.randint(0, 200) for _ in range(reps)]
+
+    timings = {}
+    outputs = {}
+    for spec in _backends():
+        with flatbuf.use(spec):
+            brows = [flatbuf.row_from_list(list(r)) for r in rows]
+            finites = [
+                flatbuf.finite_entries(flatbuf.row_from_list(list(d))) for d in dsts
+            ]
+            prep = flatbuf.prepare_values(vids, dws)
+
+            start = time.perf_counter()
+            merged = []
+            for row, shift, finite in zip(brows, shifts, finites):
+                patched, changed = flatbuf.max_merge(row, shift, finite)
+                merged.append(
+                    (None, None) if patched is None
+                    else (flatbuf.row_to_list(patched), list(changed))
+                )
+            t_merge = time.perf_counter() - start
+
+            start = time.perf_counter()
+            masks = [
+                flatbuf.threshold_mask(row, prep, read)
+                for row, read in zip(brows, reads)
+            ]
+            t_mask = time.perf_counter() - start
+
+            timings[spec] = {"max_merge": t_merge, "threshold_mask": t_mask}
+            outputs[spec] = (merged, masks)
+
+    reference = outputs["off"]
+    for spec, got in outputs.items():
+        assert got == reference, f"kernel outputs diverge under {spec}"
+
+    print(section("flatbuf kernels: per-backend timings (identical outputs)"))
+    print(f"{'kernel':<16} " + " ".join(f"{s:>9}" for s in timings))
+    for kernel in ("max_merge", "threshold_mask"):
+        cells = " ".join(f"{timings[s][kernel]:>8.4f}s" for s in timings)
+        print(f"{kernel:<16} {cells}")
+
+    _record(
+        "kernel_timings",
+        {
+            "row_width": n,
+            "repetitions": reps,
+            "seconds": {
+                s: {k: round(v, 5) for k, v in t.items()}
+                for s, t in timings.items()
+            },
+        },
+    )
+
+
+def test_closure_kernel_crossover():
+    """Document the scalar/numpy closure crossover behind the dispatch gate."""
+
+    if not flatbuf.numpy_available():
+        print(section("closure kernel: numpy unavailable, scalar only"))
+        return
+    rng = random.Random(77)
+    sizes = (64, 256) if _SMOKE else (64, 256, 1024, 2304)
+    rows_by_size = {}
+    for size in sizes:
+        rows = [0] * size
+        for i in range(size):
+            for j in range(i + 1, min(size, i + 40)):
+                if rng.random() < 0.2:
+                    rows[i] |= 1 << j
+        rows_by_size[size] = rows
+
+    print(section("closure kernel: scalar big-int vs numpy word matrix"))
+    print(f"{'n':>6} {'scalar':>9} {'numpy':>9}")
+    results = {}
+    for size, rows in rows_by_size.items():
+        start = time.perf_counter()
+        scalar = flatbuf._closure_scalar(rows)
+        t_scalar = time.perf_counter() - start
+        start = time.perf_counter()
+        vector = flatbuf._closure_numpy(rows)
+        t_numpy = time.perf_counter() - start
+        assert scalar == vector
+        print(f"{size:>6} {t_scalar:>8.4f}s {t_numpy:>8.4f}s")
+        results[size] = {"scalar": round(t_scalar, 5), "numpy": round(t_numpy, 5)}
+
+    _record(
+        "closure_crossover",
+        {"dispatch_min": flatbuf._CLOSURE_NUMPY_MIN, "seconds": results},
+    )
+
+
+def _normalized_report(result):
+    details = {
+        k: v
+        for k, v in sorted(result.details.items())
+        if k not in ("engine", "engine_stats")
+    }
+    graph = result.extended_ddg
+    return repr(
+        (
+            result.rtype.name,
+            result.target,
+            result.success,
+            result.original_rs,
+            result.achieved_rs,
+            result.added_edges,
+            result.critical_path_before,
+            result.critical_path_after,
+            result.method,
+            result.optimal,
+            details,
+            sorted(
+                (e.src, e.dst, e.latency, e.kind.value,
+                 None if e.rtype is None else e.rtype.name)
+                for e in graph.edges()
+            ),
+        )
+    ).encode()
+
+
+def test_scale_byte_identity_across_backends():
+    """Superblock reductions must not depend on the kernel backend."""
+
+    if _SMOKE:
+        tier = scale_suite(sizes=(48,), superblock_sizes=(120,))
+    else:
+        tier = scale_suite(sizes=(), superblock_sizes=(200, 240))
+
+    rows = []
+    for entry in tier:
+        rtype = entry.ddg.register_types()[0]
+        reports = {}
+        seconds = {}
+        for spec in _backends():
+            with flatbuf.use(spec):
+                start = time.perf_counter()
+                result = reduce_saturation_heuristic(
+                    entry.ddg.copy(), rtype, 8, engine="incremental"
+                )
+                seconds[spec] = time.perf_counter() - start
+                reports[spec] = _normalized_report(result)
+        assert len(set(reports.values())) == 1, (
+            f"backend-dependent report on {entry.name}"
+        )
+        rows.append((entry.name, seconds))
+
+    print(section("scale reductions: per-backend wall time (identical reports)"))
+    specs = _backends()
+    print(f"{'instance':<16} " + " ".join(f"{s:>9}" for s in specs))
+    for name, seconds in rows:
+        print(f"{name:<16} " + " ".join(f"{seconds[s]:>8.2f}s" for s in specs))
+
+    _record(
+        "scale_byte_identity",
+        {
+            name: {s: round(t, 3) for s, t in seconds.items()}
+            for name, seconds in rows
+        },
+    )
+
+
+def _echo_item_bytes(item):
+    """Worker: prove the graph arrived usable and report its pickled size."""
+
+    name, ddg, rtype, budget = item
+    assert ddg.operation(next(iter(o.name for o in ddg.operations()))) is not None
+    return name, ddg.n
+
+
+def test_shared_memory_dispatch_shrinks_payloads():
+    """Packed scale items must pickle >= 10x smaller, and dispatch must attach."""
+
+    from repro.experiments import BatchEngine
+
+    if _SMOKE:
+        tier = scale_suite(sizes=(40, 48), superblock_sizes=())
+    else:
+        tier = scale_suite(sizes=(56, 72), superblock_sizes=(200,))
+    items = []
+    for entry in tier:
+        rtype = entry.ddg.register_types()[0]
+        # Several configuration rows per graph, like the experiment drivers.
+        for budget in (4, 6, 8):
+            items.append((entry.name, entry.ddg, rtype, budget))
+
+    plain_bytes = sum(len(pickle.dumps(item)) for item in items)
+    with shm.GraphExporter() as exporter:
+        packed = [exporter.pack(item) for item in items]
+        packed_bytes = sum(len(pickle.dumps(item)) for item in packed)
+        assert exporter.exported == len(tier)
+    ratio = plain_bytes / packed_bytes if packed_bytes else float("inf")
+
+    print(section("shared-memory dispatch: pickled payload per batch"))
+    print(f"{'items':>6} {'graphs':>7} {'plain':>10} {'packed':>10} {'ratio':>7}")
+    print(f"{len(items):>6} {len(tier):>7} {plain_bytes:>9}B {packed_bytes:>9}B "
+          f"{ratio:>6.1f}x")
+
+    shm.reset_counters()
+    engine = BatchEngine(policy="process", workers=2)
+    results = engine.map(_echo_item_bytes, items)
+    assert [r[0] for r in results] == [item[0] for item in items]
+    assert shm.counters["exports"] == len(tier)
+    assert shm.counters["fallbacks"] == 0
+
+    _record(
+        "shared_memory_dispatch",
+        {
+            "items": len(items),
+            "graphs": len(tier),
+            "plain_bytes": plain_bytes,
+            "packed_bytes": packed_bytes,
+            "bytes_ratio": round(ratio, 2),
+            "exports": shm.counters["exports"],
+        },
+    )
+
+    minimum = float(os.environ.get("REPRO_SHM_BYTES_RATIO_MIN", "10.0"))
+    assert ratio >= minimum, (
+        f"expected shared-memory packing to move >= {minimum:.0f}x fewer "
+        f"pickled bytes per batch, got {ratio:.1f}x"
+    )

@@ -9,11 +9,72 @@ through the experiment API for a fuller run.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+
 import pytest
 
 from repro.codes import benchmark_suite, kernel_suite
 from repro.core import superscalar
 from repro.experiments import BatchEngine
+
+
+# --------------------------------------------------------------------------- #
+# JSON artifacts (REPRO_BENCH_JSON / REPRO_PROFILE_JSON)
+#
+# Several pytest items merge their sections into one artifact file, and CI
+# uploads whatever is on disk even when a later item fails or the runner is
+# killed.  Writes therefore follow the result store's discipline: serialize
+# to a temp file in the destination directory, fsync, then ``os.replace`` --
+# a reader (or the uploader) only ever sees a complete JSON document.
+# --------------------------------------------------------------------------- #
+
+
+def load_json_artifact(path):
+    """Best-effort read of an artifact written by :func:`write_json_artifact`."""
+
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {}
+
+
+def write_json_artifact(path, data):
+    """Atomically replace *path* with ``data`` serialized as JSON."""
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def merge_json_artifact(env_var, section_name, payload):
+    """Read-merge-write one section into the artifact named by *env_var*.
+
+    Inert when the environment variable is unset, so benchmark runs without
+    artifact capture stay file-free.
+    """
+
+    path = os.environ.get(env_var, "")
+    if not path:
+        return
+    data = load_json_artifact(path)
+    data[section_name] = payload
+    write_json_artifact(path, data)
 
 
 @pytest.fixture(scope="session")

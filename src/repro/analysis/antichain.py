@@ -36,6 +36,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from . import flatbuf
+
 __all__ = [
     "maximum_antichain",
     "maximum_antichain_from_adjacency",
@@ -299,43 +301,14 @@ def is_antichain(
 def _closure_from_rows(rows: Sequence[int]) -> Optional[List[int]]:
     """Transitive-closure bitsets of a bit relation, or None on a cycle.
 
-    Kahn over the bit relation, then closure accumulation in reverse
-    topological order.  Shared by the from-scratch reference path and the
-    persistent engine's seeding, so the two can never diverge.
+    Shared by the from-scratch reference path and the persistent engine's
+    seeding, so the two can never diverge.  The word-op kernel itself lives
+    in :mod:`repro.analysis.flatbuf` (scalar big-int Kahn + reverse-topo
+    accumulation, with a numpy word-matrix form for wide ground sets); the
+    closure of a DAG is unique, so every backend returns identical bitsets.
     """
 
-    n = len(rows)
-    indeg = [0] * n
-    for mask in rows:
-        while mask:
-            low = mask & -mask
-            indeg[low.bit_length() - 1] += 1
-            mask ^= low
-    stack = [i for i in range(n) if indeg[i] == 0]
-    order: List[int] = []
-    while stack:
-        i = stack.pop()
-        order.append(i)
-        mask = rows[i]
-        while mask:
-            low = mask & -mask
-            j = low.bit_length() - 1
-            mask ^= low
-            indeg[j] -= 1
-            if indeg[j] == 0:
-                stack.append(j)
-    if len(order) != n:
-        return None
-    closure = [0] * n
-    for i in reversed(order):
-        acc = 0
-        mask = rows[i]
-        while mask:
-            low = mask & -mask
-            acc |= low | closure[low.bit_length() - 1]
-            mask ^= low
-        closure[i] = acc
-    return closure
+    return flatbuf.closure_from_rows(rows)
 
 
 def antichain_indices_from_rows(rows: Sequence[int]) -> Optional[List[int]]:

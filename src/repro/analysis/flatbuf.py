@@ -1,0 +1,501 @@
+"""Vectorized buffer kernels for the flat hot core (``REPRO_VECTOR``).
+
+PR 6 moved the reduction engine's hot state onto flat integer-indexed
+structures: longest-path rows indexed by op id, killer/DV state as int
+bitsets, verdicts keyed by flat pair ints.  The rows were plain
+``List[float]`` -- one step from contiguous buffers.  This module takes that
+step: every remaining inner loop of the profiled hot stages (whole-row lp
+max-merge, DV threshold scan, bitset-closure accumulation, the quadratic
+candidate-pair scan) lives here as a *kernel* with two interchangeable
+implementations behind one interface:
+
+* ``numpy`` -- rows are ``float64`` ndarrays, kernels are whole-array ops
+  (fancy gather + compare + ``packbits``); used when numpy is importable.
+* ``stdlib`` -- rows are ``array('d')`` buffers, kernels are the scalar
+  loops over them; always available, no third-party imports.
+* ``off`` -- rows stay plain ``List[float]`` and every kernel runs the
+  exact PR-6 scalar code; this is the reference the other two are
+  property-tested against (``tests/test_flatbuf.py``) and the
+  pre-vectorization baseline of the benchmark's stage-delta table.
+
+The backend is chosen by the ``REPRO_VECTOR`` environment variable
+(``auto``/``numpy``/``stdlib``/``off``, default ``auto`` = numpy when
+importable else stdlib); malformed values raise
+:class:`~repro.errors.ConfigurationError` naming the variable, consistent
+with every other ``REPRO_*`` knob.  All three implementations are exact:
+the kernels perform the same IEEE-754 double operations in the same order
+wherever ordering can matter, so reports, store keys and
+``ReductionResult`` details are byte-identical across backends (asserted by
+``benchmarks/bench_vector.py``).
+
+Kernels dispatch on the *runtime type* of the buffer they receive, not just
+the configured backend, so state built under one backend stays correct if
+the backend is switched mid-session (the tests do exactly that through
+:func:`use`).  ``counters["vector_kernel_calls"]`` counts vectorized kernel
+invocations (numpy or stdlib buffers; the ``off`` scalar reference does not
+count) and is surfaced in ``ReductionResult.details["engine_stats"]``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from array import array
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+try:  # The numpy backend is optional; the stdlib backend always works.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "BACKENDS",
+    "NEG_INF",
+    "backend",
+    "closure_from_rows",
+    "counters",
+    "finite_entries",
+    "max_merge",
+    "numpy_available",
+    "pair_tables",
+    "prepare_values",
+    "row_from_list",
+    "row_to_list",
+    "scan_pairs",
+    "set_backend",
+    "threshold_mask",
+    "use",
+]
+
+NEG_INF = float("-inf")
+
+#: Accepted ``REPRO_VECTOR`` values.
+BACKENDS = ("auto", "numpy", "stdlib", "off")
+
+#: Vectorized-kernel invocation counters (module-wide; sessions snapshot
+#: and diff them for their ``engine_stats``).
+counters: Dict[str, int] = {"vector_kernel_calls": 0}
+
+_active: Optional[str] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be activated in this process."""
+
+    return _np is not None
+
+
+def _resolve(spec: str, source: str = "REPRO_VECTOR") -> str:
+    if spec not in BACKENDS:
+        raise ConfigurationError(
+            f"{source}={spec!r} must be one of {', '.join(BACKENDS)}"
+        )
+    if spec == "numpy" and _np is None:
+        raise ConfigurationError(
+            f"{source}={spec!r} requests the numpy backend, but numpy is not"
+            " importable; use 'stdlib', 'off', or 'auto'"
+        )
+    if spec == "auto":
+        return "numpy" if _np is not None else "stdlib"
+    return spec
+
+
+def backend() -> str:
+    """The active kernel backend, resolving ``REPRO_VECTOR`` on first use."""
+
+    global _active
+    if _active is None:
+        _active = _resolve(os.environ.get("REPRO_VECTOR", "auto"))
+    return _active
+
+
+def set_backend(spec: Optional[str]) -> str:
+    """Activate a backend; ``None`` re-reads ``REPRO_VECTOR`` lazily."""
+
+    global _active
+    if spec is None:
+        _active = None
+        return backend()
+    _active = _resolve(spec)
+    return _active
+
+
+@contextmanager
+def use(spec: str) -> Iterator[str]:
+    """Temporarily activate a backend (tests and the benchmark delta table)."""
+
+    global _active
+    previous = _active
+    _active = _resolve(spec)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+# --------------------------------------------------------------------- #
+# Row buffers
+# --------------------------------------------------------------------- #
+def row_from_list(values: List[float]):
+    """A longest-path row buffer for the active backend.
+
+    ``off`` returns the list itself (no copy -- the scalar reference path
+    is exactly PR 6's); the buffer backends copy into contiguous storage.
+    """
+
+    b = backend()
+    if b == "numpy":
+        return _np.asarray(values, dtype=_np.float64)
+    if b == "stdlib":
+        return array("d", values)
+    return values
+
+
+def row_to_list(row) -> List[float]:
+    """Plain-``float`` list view of a row (the string-facing boundary).
+
+    Guarantees no ``numpy.float64`` leaks into name-keyed dict views or
+    report bytes: ``ndarray.tolist``/``array.tolist`` both box to built-in
+    floats.
+    """
+
+    if type(row) is list:
+        return row
+    return row.tolist()
+
+
+# --------------------------------------------------------------------- #
+# Kernel 1: whole-row longest-path max-merge
+# --------------------------------------------------------------------- #
+def finite_entries(row_dst):
+    """Hoisted finite continuation entries of an arc's destination row.
+
+    The per-arc precomputation of the push patch loop: the ``(y, lp(dst,
+    y))`` pairs with a finite longest path.  The numpy form is an ``(index
+    array, value array)`` pair consumed by the vector :func:`max_merge`;
+    the scalar form is the PR-6 list of pairs.
+    """
+
+    if _np is not None and type(row_dst) is _np.ndarray:
+        idx = _np.nonzero(row_dst != NEG_INF)[0]
+        return (idx, row_dst[idx])
+    return [(y, dv) for y, dv in enumerate(row_dst) if dv != NEG_INF]
+
+
+def max_merge(row, shift, finite):
+    """``row'[y] = max(row[y], shift + lp(dst, y))`` over the finite entries.
+
+    Returns ``(patched_row, changed_indices)`` -- a fresh copy-on-write
+    buffer and the ascending indices that grew -- or ``(None, None)`` when
+    nothing improved.  The changed-index list feeds the DV dirty-region
+    recheck, so its order (ascending ``y``) is part of the contract.
+    """
+
+    if _np is not None and type(row) is _np.ndarray:
+        counters["vector_kernel_calls"] += 1
+        idx, vals = finite
+        cand = vals + shift
+        improved = cand > row[idx]
+        if not improved.any():
+            return None, None
+        patched = row.copy()
+        where = idx[improved]
+        patched[where] = cand[improved]
+        return patched, where.tolist()
+    if type(row) is not list:
+        counters["vector_kernel_calls"] += 1
+    patched = None
+    changed: Optional[List[int]] = None
+    for y, dv in finite:
+        cand = shift + dv
+        if patched is None:
+            if cand > row[y]:
+                patched = row[:]
+                patched[y] = cand
+                changed = [y]
+        elif cand > patched[y]:
+            patched[y] = cand
+            changed.append(y)  # type: ignore[union-attr]
+    return patched, changed
+
+
+# --------------------------------------------------------------------- #
+# Kernel 2: DV threshold scan (killer bitset from a longest-path row)
+# --------------------------------------------------------------------- #
+def prepare_values(value_opids: Sequence[int], delta_w: Sequence[int]):
+    """Backend handle over the value-id / delta_w tables of one DV state.
+
+    Built once per killing-function rebuild; :func:`threshold_mask` then
+    gathers through it on every killer-row seed.
+    """
+
+    if backend() == "numpy":
+        return (
+            _np.asarray(list(value_opids), dtype=_np.intp),
+            _np.asarray(list(delta_w), dtype=_np.int64),
+        )
+    return (list(value_opids), list(delta_w))
+
+
+def threshold_mask(row, prep, read: int) -> int:
+    """The killer's DV bitset: bit ``j`` set iff ``lp(k, v_j) >= read - dw_j``.
+
+    Always returns a built-in Python int (the bitset code downstream is
+    big-int arithmetic).
+    """
+
+    vids, dw = prep
+    if (
+        _np is not None
+        and type(row) is _np.ndarray
+        and type(vids) is _np.ndarray
+    ):
+        counters["vector_kernel_calls"] += 1
+        if len(vids) == 0:
+            return 0
+        dist = row[vids]
+        ok = (dist != NEG_INF) & (dist >= (read - dw))
+        return int.from_bytes(
+            _np.packbits(ok, bitorder="little").tobytes(), "little"
+        )
+    if type(row) is not list:
+        counters["vector_kernel_calls"] += 1
+    mask = 0
+    for j, vid in enumerate(vids):
+        dist = row[vid]
+        if dist != NEG_INF and dist >= read - dw[j]:
+            mask |= 1 << j
+    return mask
+
+
+# --------------------------------------------------------------------- #
+# Kernel 3: bitset transitive closure (PersistentAntichain seeding)
+# --------------------------------------------------------------------- #
+def closure_from_rows(rows: Sequence[int]) -> Optional[List[int]]:
+    """Transitive-closure bitsets of a bit relation, or None on a cycle.
+
+    Kahn over the bit relation, then closure accumulation in reverse
+    topological order.  The closure of a DAG is unique, so the result is
+    independent of the topological order either implementation walks.
+
+    Dispatch note: the numpy word-matrix form only pays for itself on wide
+    relations -- Python's big-int ``|`` is already a vectorized word loop in
+    C, and the scalar kernel has no per-call conversion.  The measured
+    crossover on the benchmark suite sits far above the paper's instance
+    sizes (a few hundred values), so the scalar kernel is the wired default
+    and the numpy form is kept parity-tested for wider ground sets.
+    """
+
+    if (
+        _np is not None
+        and len(rows) >= _CLOSURE_NUMPY_MIN
+        and backend() == "numpy"
+        and sys.byteorder == "little"
+    ):
+        return _closure_numpy(rows)
+    return _closure_scalar(rows)
+
+
+#: Ground-set size below which the closure always takes the scalar big-int
+#: kernel.  benchmarks/bench_vector.py measures the scalar kernel ahead
+#: through its whole range (n <= 2304: its big-int OR is itself a C word
+#: loop with no per-call conversion), so this gate sits above anything the
+#: suite produces and the numpy form is a parity-tested alternative for
+#: far wider ground sets.
+_CLOSURE_NUMPY_MIN = 4096
+
+
+def _closure_scalar(rows: Sequence[int]) -> Optional[List[int]]:
+    n = len(rows)
+    indeg = [0] * n
+    for mask in rows:
+        while mask:
+            low = mask & -mask
+            indeg[low.bit_length() - 1] += 1
+            mask ^= low
+    stack = [i for i in range(n) if indeg[i] == 0]
+    order: List[int] = []
+    while stack:
+        i = stack.pop()
+        order.append(i)
+        mask = rows[i]
+        while mask:
+            low = mask & -mask
+            j = low.bit_length() - 1
+            mask ^= low
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                stack.append(j)
+    if len(order) != n:
+        return None
+    closure = [0] * n
+    for i in reversed(order):
+        acc = 0
+        mask = rows[i]
+        while mask:
+            low = mask & -mask
+            acc |= low | closure[low.bit_length() - 1]
+            mask ^= low
+        closure[i] = acc
+    return closure
+
+
+def _closure_numpy(rows: Sequence[int]) -> Optional[List[int]]:
+    counters["vector_kernel_calls"] += 1
+    n = len(rows)
+    if n == 0:
+        return []
+    nwords = (n + 63) // 64
+    nbytes = nwords * 8
+    buf = _np.empty((n, nbytes), dtype=_np.uint8)
+    for i, mask in enumerate(rows):
+        buf[i] = _np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=_np.uint8)
+    bits = _np.unpackbits(buf, axis=1, bitorder="little")[:, :n]
+    indeg = bits.sum(axis=0, dtype=_np.int64)
+    succ = [_np.nonzero(bits[i])[0] for i in range(n)]
+    stack = [int(i) for i in _np.nonzero(indeg == 0)[0]]
+    order: List[int] = []
+    while stack:
+        i = stack.pop()
+        order.append(i)
+        s = succ[i]
+        if len(s):
+            indeg[s] -= 1
+            for j in s[indeg[s] == 0]:
+                stack.append(int(j))
+    if len(order) != n:
+        return None
+    words = buf.view(_np.dtype("<u8"))
+    closure = _np.zeros((n, nwords), dtype=_np.dtype("<u8"))
+    for i in reversed(order):
+        s = succ[i]
+        if len(s):
+            closure[i] = _np.bitwise_or.reduce(closure[s], axis=0) | words[i]
+        else:
+            closure[i] = words[i]
+    return [
+        int.from_bytes(closure[i].tobytes(), "little") for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Kernel 4: candidate-pair scan over flat verdict tables
+# --------------------------------------------------------------------- #
+def pair_tables(n2: int):
+    """Flat verdict tables mirroring the session's pair-verdict dict.
+
+    ``xs[key]`` holds the cached pair-local quantity ``X`` of a candidate
+    verdict; ``arcs[key]`` encodes the verdict kind: ``-1`` missing, ``-2``
+    implied, ``-3`` none/illegal, ``>= 0`` the candidate's arc count.
+    Returns None when the backend is ``off`` (the session keeps its scalar
+    dict loop).
+    """
+
+    b = backend()
+    if b == "numpy":
+        return (
+            _np.zeros(n2, dtype=_np.float64),
+            _np.full(n2, -1, dtype=_np.int64),
+        )
+    if b == "stdlib":
+        return (array("d", bytes(8 * n2)), array("q", [-1]) * n2)
+    return None
+
+
+#: Single-entry memo for the numpy scan's derived index arrays, keyed by
+#: ``(n, tuple(idx))``.
+_scan_key_cache: Optional[Tuple] = None
+
+
+def scan_pairs(
+    xs,
+    arcs,
+    idx: Sequence[int],
+    n: int,
+    cp: int,
+    base_cp: int,
+    fresh: Callable[[int, int, int], None],
+):
+    """One quadratic candidate-pair scan over the flat verdict tables.
+
+    *idx* maps scan positions to value indices (all distinct); the pair at
+    positions ``(a, b)`` has flat key ``idx[a] * n + idx[b]``.  Missing
+    verdicts are filled through ``fresh(a, b, key)``, which must leave the
+    tables updated.  Returns ``(best, best_key, implied, reused)`` where
+    *best* is the winning ``(cp_increase, arc_count)`` under the strict
+    first-minimum lexicographic order of the scalar scan (row-major pair
+    order), or None when no pair is applicable.
+    """
+
+    counters["vector_kernel_calls"] += 1
+    if _np is not None and type(arcs) is _np.ndarray:
+        global _scan_key_cache
+        k = len(idx)
+        # The candidate set is stable across the many scans of one
+        # reduction iteration, so the derived key/off-diagonal arrays are
+        # memoized (single entry -- scans interleave per session, not per
+        # graph).
+        sig = (n, tuple(idx))
+        if _scan_key_cache is not None and _scan_key_cache[0] == sig:
+            keys, offdiag = _scan_key_cache[1]
+        else:
+            ii = _np.asarray(list(idx), dtype=_np.int64)
+            keys = (ii[:, None] * n + ii[None, :]).ravel()
+            offdiag = ~_np.eye(k, dtype=bool).ravel()
+            _scan_key_cache = (sig, (keys, offdiag))
+        codes = arcs[keys]
+        missing = _np.nonzero(offdiag & (codes == -1))[0]
+        for p in missing:
+            p = int(p)
+            fresh(p // k, p % k, int(keys[p]))
+        if len(missing):
+            codes = arcs[keys]
+        reused = int(offdiag.sum()) - len(missing)
+        implied = int((offdiag & (codes == -2)).sum())
+        valid = offdiag & (codes >= 0)
+        if not valid.any():
+            return None, None, implied, reused
+        vpos = _np.nonzero(valid)[0]
+        x = xs[keys[vpos]]
+        # int(x if x > cp else cp) - base_cp, elementwise: both int() and
+        # the int64 cast truncate toward zero, so the arithmetic is
+        # bit-for-bit the scalar loop's.
+        inc = _np.where(x > cp, x, float(cp)).astype(_np.int64) - base_cp
+        arc_counts = codes[vpos]
+        min_inc = inc.min()
+        at_min = inc == min_inc
+        min_arc = arc_counts[at_min].min()
+        sel = int(_np.nonzero(at_min & (arc_counts == min_arc))[0][0])
+        best = (int(min_inc), int(min_arc))
+        return best, int(keys[vpos[sel]]), implied, reused
+    k = len(idx)
+    best: Optional[Tuple[int, int]] = None
+    best_key: Optional[int] = None
+    reused = 0
+    implied = 0
+    for a in range(k):
+        base = idx[a] * n
+        for b in range(k):
+            if a == b:
+                continue
+            key = base + idx[b]
+            code = arcs[key]
+            if code == -1:
+                fresh(a, b, key)
+                code = arcs[key]
+            else:
+                reused += 1
+            if code == -2:
+                implied += 1
+                continue
+            if code == -3:
+                continue
+            x = xs[key]
+            inc = int(x if x > cp else cp) - base_cp
+            if best is None or (inc, code) < best:
+                best = (inc, code)
+                best_key = key
+    return best, best_key, implied, reused

@@ -1,0 +1,411 @@
+"""Zero-copy graph dispatch over ``multiprocessing.shared_memory``.
+
+When a batch engine fans a suite of instances out to process workers, the
+default transport pickles every :class:`~repro.core.graph.DDG` into each
+task message.  For the synthetic scale suites the graphs dominate the
+payload, and the same graph is often shipped several times (one per
+configuration row).  This module exports each distinct graph **once** into
+a named shared-memory segment and replaces the in-message graph with a
+tiny proxy whose pickle is just the segment name; workers attach to the
+segment and rebuild the graph from the flat buffers without a second copy
+of the byte payload travelling through the task pipe.
+
+Layout of a segment (all integers little-endian)::
+
+    [0:8]      uint64   byte length L of the pickled metadata block
+    [8:8+L]    bytes    pickle of a small dict: graph name, operation
+                        names, string tables (opcodes, fu classes,
+                        register types, dependence kinds) and the edge
+                        count.  Strings live here; numbers live below.
+    ...pad to a multiple of 8...
+    ops block  int64    6 words per operation:
+                        latency, delta_r, delta_w, opcode idx, fu idx,
+                        defs bitmask over the register-type table
+    edge block int64    5 words per edge:
+                        src idx, dst idx, latency, kind idx, rtype idx
+                        (rtype idx is -1 for serial arcs)
+
+Rebuilding follows the same recipe as :meth:`DDG.copy` -- re-add the
+operations, then re-add the arcs in ``edges()`` order -- so an attached
+graph is indistinguishable from a copied one.
+
+Dispatch is controlled by ``REPRO_SHM`` (``auto``/``off``); anything that
+cannot be exported (exotic payloads, exhausted shared memory, platforms
+without the facility) silently falls back to plain pickling and bumps the
+``fallbacks`` counter so the regression tests can assert on the split.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import fields, is_dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.graph import DDG, Edge
+from ..core.operation import Operation
+from ..core.types import DependenceKind, canonical_type
+from ..errors import ConfigurationError
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "GraphExporter",
+    "counters",
+    "enabled",
+    "pack_item",
+    "reset_counters",
+]
+
+MODES = ("auto", "off")
+
+#: Process-wide telemetry.  ``exports`` counts segments created by this
+#: process, ``attaches`` counts segments opened (typically by workers) and
+#: ``fallbacks`` counts items that were dispatched via plain pickle because
+#: shared-memory packing was unavailable or failed.
+counters: Dict[str, int] = {"exports": 0, "attaches": 0, "fallbacks": 0}
+
+_OP_WORDS = 6
+_EDGE_WORDS = 5
+_MAX_PACK_DEPTH = 4
+
+
+def reset_counters() -> None:
+    for key in counters:
+        counters[key] = 0
+
+
+def _mode() -> str:
+    raw = os.environ.get("REPRO_SHM", "auto")
+    spec = raw.strip().lower()
+    if spec not in MODES:
+        raise ConfigurationError(
+            f"REPRO_SHM must be one of {'/'.join(MODES)}, got {raw!r}"
+        )
+    return spec
+
+
+def enabled() -> bool:
+    """True when shared-memory dispatch is configured and available."""
+
+    return _mode() == "auto" and shared_memory is not None
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_graph(ddg: DDG) -> bytes:
+    names: Tuple[str, ...] = tuple(op.name for op in ddg.operations())
+    index = {name: i for i, name in enumerate(names)}
+    edges: List[Edge] = list(ddg.edges())
+
+    opcodes: List[str] = []
+    fus: List[str] = []
+    rtypes: List[str] = []
+    kinds: List[str] = [k.value for k in DependenceKind]
+
+    def intern(table: List[str], value: str) -> int:
+        try:
+            return table.index(value)
+        except ValueError:
+            table.append(value)
+            return len(table) - 1
+
+    op_words: List[int] = []
+    for name in names:
+        op = ddg.operation(name)
+        mask = 0
+        for rt in op.defs:
+            mask |= 1 << intern(rtypes, rt.name)
+        op_words += [
+            op.latency,
+            op.delta_r,
+            op.delta_w,
+            intern(opcodes, op.opcode),
+            intern(fus, op.fu_class),
+            mask,
+        ]
+
+    edge_words: List[int] = []
+    for edge in edges:
+        edge_words += [
+            index[edge.src],
+            index[edge.dst],
+            edge.latency,
+            kinds.index(edge.kind.value),
+            intern(rtypes, edge.rtype.name) if edge.rtype is not None else -1,
+        ]
+
+    meta = pickle.dumps(
+        {
+            "graph": ddg.name,
+            "names": names,
+            "opcodes": tuple(opcodes),
+            "fus": tuple(fus),
+            "rtypes": tuple(rtypes),
+            "kinds": tuple(kinds),
+            "n_edges": len(edges),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    if len(rtypes) > 63:
+        raise ValueError("too many register types for a defs bitmask")
+
+    pad = (-(8 + len(meta))) % 8
+    blob = bytearray()
+    blob += len(meta).to_bytes(8, "little")
+    blob += meta
+    blob += b"\0" * pad
+    for word in op_words + edge_words:
+        blob += word.to_bytes(8, "little", signed=True)
+    return bytes(blob)
+
+
+def _decode_graph(buf: memoryview) -> DDG:
+    meta_len = int.from_bytes(bytes(buf[0:8]), "little")
+    meta = pickle.loads(bytes(buf[8 : 8 + meta_len]))
+    offset = 8 + meta_len + ((-(8 + meta_len)) % 8)
+
+    names: Tuple[str, ...] = meta["names"]
+    rtypes = [canonical_type(name) for name in meta["rtypes"]]
+    kinds = [DependenceKind(value) for value in meta["kinds"]]
+
+    def word(i: int) -> int:
+        start = offset + 8 * i
+        return int.from_bytes(bytes(buf[start : start + 8]), "little", signed=True)
+
+    g = DDG(meta["graph"])
+    for i, name in enumerate(names):
+        base = _OP_WORDS * i
+        mask = word(base + 5)
+        defs = frozenset(rt for bit, rt in enumerate(rtypes) if mask >> bit & 1)
+        g.add_operation(
+            Operation(
+                name=name,
+                defs=defs,
+                latency=word(base),
+                delta_r=word(base + 1),
+                delta_w=word(base + 2),
+                opcode=meta["opcodes"][word(base + 3)],
+                fu_class=meta["fus"][word(base + 4)],
+            )
+        )
+
+    edge_base = _OP_WORDS * len(names)
+    for j in range(meta["n_edges"]):
+        base = edge_base + _EDGE_WORDS * j
+        rt_idx = word(base + 4)
+        g.add_edge(
+            Edge(
+                src=names[word(base)],
+                dst=names[word(base + 1)],
+                latency=word(base + 2),
+                kind=kinds[word(base + 3)],
+                rtype=rtypes[rt_idx] if rt_idx >= 0 else None,
+            )
+        )
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attach
+# ---------------------------------------------------------------------------
+
+
+def _tracker_pid() -> Optional[int]:
+    """Pid of this process's resource-tracker daemon (None if unknown)."""
+
+    if resource_tracker is None:
+        return None
+    try:
+        tracker = resource_tracker._resource_tracker
+        tracker.ensure_running()
+        return tracker._pid
+    except Exception:  # pragma: no cover - tracker internals vary
+        return None
+
+
+def _attach_graph(
+    segment_name: str, owner_pid: int, owner_tracker: Optional[int] = None
+) -> DDG:
+    """Unpickle hook: open *segment_name* and rebuild the graph."""
+
+    seg = shared_memory.SharedMemory(name=segment_name)
+    counters["attaches"] += 1
+    # Attaching registers the segment with the resource tracker, which
+    # would unlink it when this worker exits even though the exporting
+    # process still owns it.  Deregister (but not in the owner process,
+    # whose registration from ``create=True`` must survive until
+    # ``unlink``, and not in fork-started workers, which share the owner's
+    # tracker daemon: unregistering there would strip the owner's own
+    # registration and its later ``unlink`` would double-unregister).
+    shares_owner_tracker = (
+        owner_tracker is not None and _tracker_pid() == owner_tracker
+    )
+    if (
+        resource_tracker is not None
+        and os.getpid() != owner_pid
+        and not shares_owner_tracker
+    ):
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    try:
+        view = memoryview(seg.buf)
+        try:
+            return _decode_graph(view)
+        finally:
+            view.release()
+    finally:
+        seg.close()
+
+
+class _SharedDDG(DDG):
+    """A DDG whose pickle is just the name of its shared-memory segment.
+
+    The proxy shares the exported graph's ``__dict__`` so reads behave
+    exactly like the original object inside the coordinator process; only
+    ``__reduce__`` differs.
+    """
+
+    def __reduce__(self):  # type: ignore[override]
+        return (
+            _attach_graph,
+            (
+                self.__dict__["_shm_segment"],
+                self.__dict__["_shm_owner"],
+                self.__dict__["_shm_tracker"],
+            ),
+        )
+
+
+def _make_proxy(ddg: DDG, segment_name: str) -> DDG:
+    proxy = DDG.__new__(_SharedDDG)
+    proxy.__dict__ = dict(ddg.__dict__)
+    proxy.__dict__["_shm_segment"] = segment_name
+    proxy.__dict__["_shm_owner"] = os.getpid()
+    proxy.__dict__["_shm_tracker"] = _tracker_pid()
+    return proxy
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side export
+# ---------------------------------------------------------------------------
+
+
+class GraphExporter:
+    """Exports graphs into shared memory for the lifetime of a dispatch.
+
+    One exporter is opened per batch run; every distinct graph object is
+    exported at most once (keyed by identity) and every task item routed
+    through :meth:`pack` has its graphs swapped for proxies.  ``close()``
+    unlinks all segments -- call it from a ``finally`` once every worker
+    result has been collected.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[int, Tuple[Any, DDG, DDG]] = {}
+        self._closed = False
+
+    # -- bookkeeping --------------------------------------------------
+
+    def __enter__(self) -> "GraphExporter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for seg, _ddg, _proxy in self._segments.values():
+            try:
+                seg.close()
+            finally:
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self._segments.clear()
+
+    @property
+    def exported(self) -> int:
+        return len(self._segments)
+
+    # -- packing ------------------------------------------------------
+
+    def _proxy_for(self, ddg: DDG) -> DDG:
+        key = id(ddg)
+        entry = self._segments.get(key)
+        if entry is not None:
+            return entry[2]
+        blob = _encode_graph(ddg)
+        seg = shared_memory.SharedMemory(create=True, size=max(len(blob), 1))
+        seg.buf[: len(blob)] = blob
+        counters["exports"] += 1
+        proxy = _make_proxy(ddg, seg.name)
+        # Keep a strong reference to the source graph: identity keys must
+        # stay valid for the exporter's lifetime.
+        self._segments[key] = (seg, ddg, proxy)
+        return proxy
+
+    def _pack(self, item: Any, depth: int) -> Any:
+        if type(item) is _SharedDDG:
+            return item
+        if isinstance(item, DDG):
+            return self._proxy_for(item)
+        if depth >= _MAX_PACK_DEPTH:
+            return item
+        # Containers are rebuilt only when a child actually changed, so a
+        # graphless item ships as-is (and keeps its identity).
+        if type(item) is tuple or type(item) is list:
+            packed = [self._pack(v, depth + 1) for v in item]
+            if all(new is old for new, old in zip(packed, item)):
+                return item
+            return tuple(packed) if type(item) is tuple else packed
+        if type(item) is dict:
+            packed = {k: self._pack(v, depth + 1) for k, v in item.items()}
+            if all(packed[k] is item[k] for k in item):
+                return item
+            return packed
+        if is_dataclass(item) and not isinstance(item, type):
+            updates = {}
+            for f in fields(item):
+                old = getattr(item, f.name)
+                new = self._pack(old, depth + 1)
+                if new is not old:
+                    updates[f.name] = new
+            return replace(item, **updates) if updates else item
+        return item
+
+    def pack(self, item: Any) -> Any:
+        """Return *item* with embedded graphs replaced by shm proxies.
+
+        Never raises: any failure (or a closed exporter) counts a fallback
+        and returns the original item untouched.
+        """
+
+        if self._closed:
+            counters["fallbacks"] += 1
+            return item
+        try:
+            return self._pack(item, 0)
+        except Exception:
+            counters["fallbacks"] += 1
+            return item
+
+
+def pack_item(exporter: Optional[GraphExporter], item: Any) -> Any:
+    """Pack *item* through *exporter*, or pass it through when disabled."""
+
+    if exporter is None:
+        return item
+    return exporter.pack(item)

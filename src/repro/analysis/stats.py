@@ -11,8 +11,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-import numpy as np
-
 __all__ = [
     "Summary",
     "summarize",
@@ -43,15 +41,18 @@ class Summary:
 
 
 def summarize(values: Iterable[float]) -> Summary:
-    data = np.asarray(list(values), dtype=float)
-    if data.size == 0:
+    data: List[float] = [float(v) for v in values]
+    if not data:
         return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    n = len(data)
+    mean = math.fsum(data) / n
+    var = math.fsum((v - mean) ** 2 for v in data) / n
     return Summary(
-        count=int(data.size),
-        mean=float(data.mean()),
-        minimum=float(data.min()),
-        maximum=float(data.max()),
-        std=float(data.std(ddof=0)),
+        count=n,
+        mean=mean,
+        minimum=min(data),
+        maximum=max(data),
+        std=math.sqrt(var),
     )
 
 
@@ -74,9 +75,17 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, floa
     pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
     if len(pairs) < 2:
         raise ValueError("need at least two positive points to fit a power law")
-    lx = np.log([p[0] for p in pairs])
-    ly = np.log([p[1] for p in pairs])
-    alpha, logc = np.polyfit(lx, ly, 1)
+    lx = [math.log(p[0]) for p in pairs]
+    ly = [math.log(p[1]) for p in pairs]
+    n = len(pairs)
+    mx = math.fsum(lx) / n
+    my = math.fsum(ly) / n
+    sxx = math.fsum((x - mx) ** 2 for x in lx)
+    if sxx == 0.0:
+        raise ValueError("need at least two distinct x values to fit a power law")
+    sxy = math.fsum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    alpha = sxy / sxx
+    logc = my - alpha * mx
     return float(alpha), float(math.exp(logc))
 
 

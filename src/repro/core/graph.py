@@ -84,6 +84,7 @@ class DDG:
         self._succ: Dict[str, Dict[str, List[Edge]]] = {}
         self._pred: Dict[str, Dict[str, List[Edge]]] = {}
         self._version = 0
+        self._topo_cache: Optional[Tuple[int, List[str]]] = None
 
     @property
     def version(self) -> int:
@@ -337,6 +338,9 @@ class DDG:
         serial arcs carelessly.
         """
 
+        cached = self._topo_cache
+        if cached is not None and cached[0] == self._version:
+            return list(cached[1])
         indeg = {v: 0 for v in self._ops}
         for edge in self.edges():
             indeg[edge.dst] += 1
@@ -353,7 +357,11 @@ class DDG:
             raise CyclicGraphError(
                 f"DDG {self.name!r} contains a dependence cycle"
             )
-        return order
+        # Memoized per structural revision (callers like the analysis
+        # context request the order several times between mutations); the
+        # cached list is copied out so callers may mutate their view.
+        self._topo_cache = (self._version, order)
+        return list(order)
 
     def is_acyclic(self) -> bool:
         try:

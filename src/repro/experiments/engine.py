@@ -64,6 +64,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from ..analysis import shm
 from ..analysis.store import ResultStore
 from .supervisor import ItemOutcome, Supervisor, SupervisorConfig
 
@@ -242,36 +243,50 @@ class BatchEngine:
         query: str = "",
         keys: Optional[Sequence[Tuple[str, object]]] = None,
     ) -> Tuple[List[R], List[ItemOutcome]]:
-        if self.policy == "fleet":
-            from ..fleet import run_fleet  # deferred: avoids an import cycle
+        exporter = None
+        if self.policy in ("process", "fleet") and len(work) > 1 and shm.enabled():
+            # Cross-process policies pickle every task item; export each
+            # distinct graph into shared memory once so the per-item
+            # payload shrinks to a segment name.  Segments live until
+            # every worker result has been collected.
+            exporter = shm.GraphExporter()
+            work = [shm.pack_item(exporter, item) for item in work]
+        try:
+            if self.policy == "fleet":
+                from ..fleet import run_fleet  # deferred: avoids an import cycle
 
-            return run_fleet(  # type: ignore[return-value]
-                fn, work,
-                workers=self.resolved_workers(len(work)),
-                supervisor=supervisor,
-                store=store, query=query, keys=keys,
+                return run_fleet(  # type: ignore[return-value]
+                    fn, work,
+                    workers=self.resolved_workers(len(work)),
+                    supervisor=supervisor,
+                    store=store, query=query, keys=keys,
+                )
+            if supervisor is not None:
+                runner = Supervisor(
+                    self.policy, self.resolved_workers(len(work)), supervisor
+                )
+                return runner.run(fn, work)  # type: ignore[return-value]
+            outcomes = [
+                ItemOutcome(index=i, policy=self.policy) for i in range(len(work))
+            ]
+            if self.policy == "serial" or len(work) <= 1:
+                return [fn(item) for item in work], outcomes
+            pool_cls = (
+                ThreadPoolExecutor if self.policy == "thread" else ProcessPoolExecutor
             )
-        if supervisor is not None:
-            runner = Supervisor(
-                self.policy, self.resolved_workers(len(work)), supervisor
-            )
-            return runner.run(fn, work)  # type: ignore[return-value]
-        outcomes = [
-            ItemOutcome(index=i, policy=self.policy) for i in range(len(work))
-        ]
-        if self.policy == "serial" or len(work) <= 1:
-            return [fn(item) for item in work], outcomes
-        pool_cls = ThreadPoolExecutor if self.policy == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=self.resolved_workers(len(work))) as pool:
-            futures = [pool.submit(fn, item) for item in work]
-            try:
-                return [future.result() for future in futures], outcomes
-            except BaseException:
-                # Don't let a failed batch keep burning CPU behind the
-                # caller's back: drop everything not yet running, then let
-                # the ``with`` block reap the in-flight remainder.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+            with pool_cls(max_workers=self.resolved_workers(len(work))) as pool:
+                futures = [pool.submit(fn, item) for item in work]
+                try:
+                    return [future.result() for future in futures], outcomes
+                except BaseException:
+                    # Don't let a failed batch keep burning CPU behind the
+                    # caller's back: drop everything not yet running, then
+                    # let the ``with`` block reap the in-flight remainder.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        finally:
+            if exporter is not None:
+                exporter.close()
 
 
 def run_batch(

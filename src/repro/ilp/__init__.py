@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .branch_bound import solve_with_branch_and_bound
 from .expressions import LinExpr, as_expr
 from .logical import (
     add_disjunction_ge,
@@ -40,8 +39,24 @@ from .registry import (
     default_registry,
     register_backend,
 )
-from .scipy_backend import solve_with_scipy
 from .solution import Solution, SolveStatus
+
+# The concrete solver modules pull in numpy/scipy at import time; exporting
+# them lazily (PEP 562) keeps ``import repro.ilp`` -- and with it the whole
+# modelling layer -- usable on interpreters without the numeric stack.
+_LAZY_EXPORTS = {
+    "solve_with_scipy": "scipy_backend",
+    "solve_with_branch_and_bound": "branch_bound",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)
 
 __all__ = [
     "LinExpr",

@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..errors import ModelError
 from .expressions import LinExpr, as_expr
 
@@ -214,6 +212,10 @@ class IntegerProgram:
         thousand cells at most, so a dense matrix is simpler and fast enough;
         the scipy backend converts to sparse for HiGHS.
         """
+
+        # Deferred: the modelling layer itself is numpy-free; only this
+        # dense export (used by the numeric solver backends) needs it.
+        import numpy as np
 
         names = list(self._vars.keys())
         index = {n: i for i, n in enumerate(names)}

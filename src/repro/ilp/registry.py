@@ -244,30 +244,42 @@ def backend_request_token(backend: str = "auto") -> str:
 
 def _build_default_registry() -> BackendRegistry:
     # Imported lazily so the registry module stays importable without scipy
-    # (a stubbed backend can then be registered in its place).
-    from .branch_bound import solve_with_branch_and_bound
-    from .scipy_backend import solve_with_scipy
-
+    # (a stubbed backend can then be registered in its place).  A backend
+    # whose numeric dependencies are missing is simply not registered;
+    # asking for it by name then raises the registry's usual unknown-backend
+    # error, while the modelling layer keeps working.
     registry = BackendRegistry()
-    registry.register_backend(
-        "scipy",
-        BackendCapabilities(time_limit=True, mip_rel_gap=True, proves_optimality=True),
-        solve_with_scipy,
-        aliases=("highs", "scipy-highs"),
-    )
-    registry.register_backend(
-        "branch-bound",
-        BackendCapabilities(
-            time_limit=True,
-            mip_rel_gap=True,
-            proves_optimality=True,
-            # The pure-Python solver is only meant for tens of integer
-            # variables; auto never routes bigger models to it.
-            max_integer_variables=60,
-        ),
-        solve_with_branch_and_bound,
-        aliases=("branch_bound", "bb"),
-    )
+    try:
+        from .scipy_backend import solve_with_scipy
+    except ImportError:
+        pass
+    else:
+        registry.register_backend(
+            "scipy",
+            BackendCapabilities(
+                time_limit=True, mip_rel_gap=True, proves_optimality=True
+            ),
+            solve_with_scipy,
+            aliases=("highs", "scipy-highs"),
+        )
+    try:
+        from .branch_bound import solve_with_branch_and_bound
+    except ImportError:
+        pass
+    else:
+        registry.register_backend(
+            "branch-bound",
+            BackendCapabilities(
+                time_limit=True,
+                mip_rel_gap=True,
+                proves_optimality=True,
+                # The pure-Python solver is only meant for tens of integer
+                # variables; auto never routes bigger models to it.
+                max_integer_variables=60,
+            ),
+            solve_with_branch_and_bound,
+            aliases=("branch_bound", "bb"),
+        )
     return registry
 
 

@@ -48,6 +48,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..analysis import flatbuf, shm
 from ..analysis.context import context_for
 from ..analysis.store import active_store
 from ..core.graph import DDG, Edge
@@ -152,6 +153,10 @@ class _SessionDriver:
             ddg, rtype, mode=mode, prune_redundant=prune_redundant
         )
         self.pruned = self.session.pruned
+        # Module-wide counter snapshots: engine_details reports this run's
+        # deltas (kernel calls are counted in flatbuf, shm attaches in the
+        # worker process that unpickled the instance).
+        self._kernel_calls_start = flatbuf.counters["vector_kernel_calls"]
 
     def critical_path(self) -> int:
         return self.session.critical_path()
@@ -194,6 +199,15 @@ class _SessionDriver:
                 **self.session.saturation_stats,
                 "killing_set_hits": cache.hits,
                 "killing_set_misses": cache.misses,
+                # Vectorized-core observability (execution detail like the
+                # stage timings below: never part of compared report bytes).
+                "vector_backend": flatbuf.backend(),
+                "vector_kernel_calls": (
+                    flatbuf.counters["vector_kernel_calls"]
+                    - self._kernel_calls_start
+                ),
+                "shm_attaches": shm.counters["attaches"],
+                "shm_fallbacks": shm.counters["fallbacks"],
                 # Monotonic per-stage wall-clock totals (seconds), keyed by
                 # engine stage; the benchmark's bottleneck profile and the
                 # CI artifact read these instead of caller-attributed

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import flatbuf
 from ..analysis.context import context_for
 from ..core.graph import DDG, Edge
 from ..core.types import BOTTOM, DependenceKind, RegisterType, Value, canonical_type
@@ -44,6 +45,10 @@ from .serialization import (
 )
 
 __all__ = ["ReductionSession"]
+
+#: Removal sentinel for the verdict-table maintenance (verdict tuples are
+#: always truthy, but a dedicated object keeps the intent explicit).
+_MISS = object()
 
 
 class _KillingSetCache(dict):
@@ -122,7 +127,10 @@ class ReductionSession:
         # path itself is re-read fresh -- see `consider`).  The cache is
         # framed copy-on-write per push so `pop` restores it exactly.
         self._pair_verdicts: Dict[object, Tuple] = {}
-        self._verdict_frames: List[Dict[object, Tuple]] = []
+        # Undo frames for the verdict cache: one (dropped entries, added
+        # keys) delta per push, applied in reverse by `pop` -- the cache
+        # dict itself is never copied.
+        self._verdict_frames: List[Tuple[Dict[object, Tuple], List[object]]] = []
         # node -> pair keys whose verdict reads that node (the pair's target
         # or one of its proto readers), registered when a verdict is first
         # stored.  Inverts the invalidation: a push walks dirty-node buckets
@@ -132,6 +140,14 @@ class ReductionSession:
         # Keys with no proto skeleton (BOTTOM endpoints): no nodes to index
         # them under, so they are conservatively dropped on every push.
         self._volatile_keys: set = set()
+        # Flat verdict tables mirroring `_pair_verdicts` for int keys
+        # (``xs[key]`` = cached X, ``arcs[key]`` = kind/arc-count code; see
+        # :func:`repro.analysis.flatbuf.pair_tables`).  Allocated lazily on
+        # the first scan (None until then, False when the backend is off);
+        # `_scan_dirty` marks them for a rebuild after a wholesale verdict
+        # restore (pop), the only maintenance that is not per-key.
+        self._scan_tables = None
+        self._scan_dirty = False
         self._cp_state_version = -1
         self._asap: Dict[str, int] = {}
         self._to_sinks: Dict[str, float] = {}
@@ -247,10 +263,68 @@ class ReductionSession:
     def _refresh_cp_state(self) -> None:
         if self._cp_state_version != self.ddg.version:
             ctx = context_for(self.ddg)
-            self._asap = ctx.asap_times()
-            self._to_sinks = ctx.longest_path_to_sinks()
+            # Copies, not the context's cached dicts: `_patch_cp_state`
+            # updates these in place after a push.
+            self._asap = dict(ctx.asap_times())
+            self._to_sinks = dict(ctx.longest_path_to_sinks())
             self._cp = ctx.critical_path_length()
             self._cp_state_version = self.ddg.version
+
+    def _patch_cp_state(self, records) -> set:
+        """Relax the warm ASAP/sink-distance maps over freshly added arcs.
+
+        Adding arcs only ever lengthens longest paths, so a monotone
+        worklist relaxation from the arc endpoints reproduces the full
+        recompute exactly (same integer arithmetic) while touching only the
+        affected region.  Returns the set of nodes whose sink distance
+        changed -- precisely the upstream dirty region the verdict
+        invalidation needs.
+        """
+
+        g = self.ddg
+        asap = self._asap
+        sinks = self._to_sinks
+        queue: List[str] = []
+        for record in records:
+            edge = record.edge
+            cand = asap[edge.src] + edge.latency
+            if cand > asap[edge.dst]:
+                asap[edge.dst] = cand
+                queue.append(edge.dst)
+        while queue:
+            v = queue.pop()
+            base = asap[v]
+            for edge in g.out_edges(v):
+                cand = base + edge.latency
+                if cand > asap[edge.dst]:
+                    asap[edge.dst] = cand
+                    queue.append(edge.dst)
+        changed: set = set()
+        for record in records:
+            edge = record.edge
+            cand = edge.latency + sinks[edge.dst]
+            if cand > sinks[edge.src]:
+                sinks[edge.src] = cand
+                changed.add(edge.src)
+                queue.append(edge.src)
+        while queue:
+            v = queue.pop()
+            base = sinks[v]
+            for edge in g.in_edges(v):
+                cand = edge.latency + base
+                if cand > sinks[edge.src]:
+                    sinks[edge.src] = cand
+                    changed.add(edge.src)
+                    queue.append(edge.src)
+        if changed:
+            cp = self._cp
+            for v in changed:
+                d = sinks[v]
+                if d > cp:
+                    cp = d
+            self._cp = int(cp)
+        self._cp_state_version = g.version
+        return changed
 
     def legal_serialization(self, before: Value, after: Value) -> Optional[List[Edge]]:
         """Same contract as :func:`repro.reduction.serialization.legal_serialization`,
@@ -315,8 +389,7 @@ class ReductionSession:
             self.stats["pair_verdicts_reused"] += 1
         else:
             verdict = self._consider_fresh(before, after, key)
-            self._pair_verdicts[key] = verdict
-            self._register_verdict_key(key, after)
+            self._store_verdict(key, verdict, after)
         if verdict is self._V_IMPLIED:
             self.stats["implied_skipped"] += 1
             return self.IMPLIED
@@ -337,7 +410,27 @@ class ReductionSession:
         ``((cp_increase, arc_count), payload)`` for the winning pair under
         the same strict lexicographic order the generic driver loop used, or
         None when no pair is applicable.
+
+        When the :mod:`~repro.analysis.flatbuf` backend is active the scan
+        runs as one :func:`~repro.analysis.flatbuf.scan_pairs` kernel call
+        over the flat verdict tables (numpy: gather + first-minimum
+        reduction; stdlib: the same loop over contiguous buffers); values
+        outside the mirror index fall back to the dict loop below, which
+        stays the ``REPRO_VECTOR=off`` reference.
         """
+
+        tables = self._ensure_scan_tables()
+        if tables is not None:
+            vindex = self._vindex
+            idx: List[int] = []
+            for v in saturating:
+                vi = vindex.get(v.node)
+                if vi is None:
+                    break
+                idx.append(vi)
+            else:
+                if len(set(idx)) == len(idx):
+                    return self._scan_tables_path(tables, saturating, idx, base_cp)
 
         verdicts = self._pair_verdicts
         vindex = self._vindex
@@ -345,7 +438,7 @@ class ReductionSession:
         implied = self._V_IMPLIED
         none = self._V_NONE
         fresh = self._consider_fresh
-        register = self._register_verdict_key
+        store = self._store_verdict
         reused = 0
         implied_count = 0
         best_key: Optional[Tuple[int, int]] = None
@@ -365,8 +458,7 @@ class ReductionSession:
                 verdict = verdicts.get(key)
                 if verdict is None:
                     verdict = fresh(u, v, key)
-                    verdicts[key] = verdict
-                    register(key, v)
+                    store(key, verdict, v)
                 else:
                     reused += 1
                 if verdict is implied:
@@ -383,7 +475,7 @@ class ReductionSession:
         self.stats["implied_skipped"] += implied_count
         return best, implied_count
 
-    def _register_verdict_key(self, key: object, after: Value) -> None:
+    def _register_verdict_key(self, key: object, target_node: str) -> None:
         """Index a freshly stored verdict under the nodes it reads."""
 
         proto = self._proto_edges_cache.get(key)
@@ -391,15 +483,87 @@ class ReductionSession:
             self._volatile_keys.add(key)
             return
         index = self._verdict_node_keys
-        bucket = index.get(after.node)
+        bucket = index.get(target_node)
         if bucket is None:
-            bucket = index[after.node] = set()
+            bucket = index[target_node] = set()
         bucket.add(key)
         for reader, _latency in proto:
             bucket = index.get(reader)
             if bucket is None:
                 bucket = index[reader] = set()
             bucket.add(key)
+
+    def _store_verdict(self, key: object, verdict: Tuple, after: Value) -> None:
+        """Store a fresh verdict in the dict, the node index and the tables."""
+
+        self._pair_verdicts[key] = verdict
+        frames = self._verdict_frames
+        if frames:
+            frames[-1][1].append(key)
+        self._register_verdict_key(key, after.node)
+        tables = self._scan_tables
+        if tables and type(key) is int:
+            self._encode_verdict(tables, key, verdict)
+
+    def _encode_verdict(self, tables, key: int, verdict: Tuple) -> None:
+        """Mirror one verdict into the flat scan tables (see `pair_tables`)."""
+
+        xs, arcs = tables
+        if verdict is self._V_IMPLIED:
+            arcs[key] = -2
+        elif verdict is self._V_NONE:
+            arcs[key] = -3
+        else:
+            xs[key] = verdict[1]
+            arcs[key] = verdict[2]
+
+    def _ensure_scan_tables(self):
+        """The flat verdict tables, or None when the backend is off.
+
+        Lazily allocated (and refilled from the verdict dict after a
+        wholesale restore) so push/pop-only sessions never pay for them.
+        """
+
+        tables = self._scan_tables
+        if tables is False:
+            return None
+        if tables is None or self._scan_dirty:
+            tables = flatbuf.pair_tables(self._nvals * self._nvals)
+            if tables is None:
+                self._scan_tables = False
+                return None
+            self._scan_tables = tables
+            encode = self._encode_verdict
+            for key, verdict in self._pair_verdicts.items():
+                if type(key) is int:
+                    encode(tables, key, verdict)
+            self._scan_dirty = False
+        return tables
+
+    def _scan_tables_path(
+        self, tables, saturating, idx: List[int], base_cp: int
+    ) -> Tuple[Optional[Tuple], int]:
+        """The kernel-backed scan (same verdicts, winner and counters)."""
+
+        self._refresh_cp_state()
+        cp = self._cp
+        consider_fresh = self._consider_fresh
+        store = self._store_verdict
+
+        def fresh(a: int, b: int, key: int) -> None:
+            v = saturating[b]
+            store(key, consider_fresh(saturating[a], v, key), v)
+
+        xs, arcs = tables
+        best, best_key, implied_count, reused = flatbuf.scan_pairs(
+            xs, arcs, idx, self._nvals, cp, base_cp, fresh
+        )
+        self.stats["pair_verdicts_reused"] += reused
+        self.stats["implied_skipped"] += implied_count
+        if best is None:
+            return None, implied_count
+        payload = self._pair_verdicts[best_key][3]
+        return (best, payload), implied_count
 
     def record_scan_time(self, seconds: float) -> None:
         """Accumulate one iteration's candidate-scan wall clock (stage timer)."""
@@ -477,14 +641,17 @@ class ReductionSession:
         assert self._analysis.remains_acyclic_with_edges(edges), (
             f"serializing {self.ddg.name!r} must keep the DDG acyclic"
         )
-        pre_sinks = (
-            self._to_sinks if self._cp_state_version == self.ddg.version else None
-        )
+        cp_fresh = self._cp_state_version == self.ddg.version
         self._saturation.push(edges)
         self.stats["pushes"] += 1
-        self._invalidate_verdicts(pre_sinks)
+        changed_sinks = (
+            self._patch_cp_state(self._analysis._frames[-1].records)
+            if cp_fresh
+            else None
+        )
+        self._invalidate_verdicts(changed_sinks)
 
-    def _invalidate_verdicts(self, pre_sinks: Optional[Dict[str, float]]) -> None:
+    def _invalidate_verdicts(self, changed_sinks: Optional[set]) -> None:
         """Frame the pair-verdict cache and drop the dirty region.
 
         Applied arcs (read off the working analysis' undo frame; no-op
@@ -493,54 +660,97 @@ class ReductionSession:
         to the sinks changed: the target's ASAP window, its descendant set,
         and every longest path *into* it change only at-or-below the arc,
         while the only upstream input a verdict reads is
-        ``to_sinks[target]``.  When *pre_sinks* (the pre-push sink-distance
-        map) is warm we diff it against the post-push map, which is the
-        exact affected set; a cold map falls back to the conservative
-        ``anc(src)`` superset.  Pairs whose target and proto readers all
-        avoid the region provably keep last iteration's verdict.
+        ``to_sinks[target]``.  When the warm cp state was patched through
+        the push, *changed_sinks* is that exact affected set; a cold state
+        falls back to the conservative ``anc(src)`` superset.  Pairs whose
+        target and proto readers all avoid the region provably keep last
+        iteration's verdict.
         """
 
-        old = self._pair_verdicts
-        self._verdict_frames.append(old)
+        verdicts = self._pair_verdicts
+        dropped: Dict[object, Tuple] = {}
+        added: List[object] = []
+        self._verdict_frames.append((dropped, added))
         frame = self._analysis._frames[-1]
-        if not frame.records or not old:
-            self._pair_verdicts = dict(old)
+        if not frame.records or not verdicts:
             return
         dirty: set = set()
         desc = self._analysis.descendants_incl()
         for record in frame.records:
             dirty.add(record.edge.dst)
             dirty |= desc[record.edge.dst]
-        if pre_sinks is None:
+        if changed_sinks is None:
             for record in frame.records:
                 dirty |= self._analysis.ancestors_incl(record.edge.src)
         else:
-            self._refresh_cp_state()
-            for node, dist in self._to_sinks.items():
-                if pre_sinks[node] != dist:
-                    dirty.add(node)
+            dirty |= changed_sinks
             self.stats["verdict_exact_regions"] += 1
         # Inverted filter: walk the dirty nodes' key buckets instead of
         # testing every cached verdict -- same retention (a key is indexed
         # under exactly its target and proto readers; proto-less keys are
-        # volatile), O(|dirty| + dropped) instead of O(|cache|).
-        kept = dict(old)
+        # volatile), O(|dirty| + dropped) instead of O(|cache|).  Dropped
+        # entries land in the undo frame so `pop` can restore them without
+        # the dict ever being copied; every key actually dropped is reset
+        # in the flat scan tables too, keeping them an exact mirror.
+        tables = self._scan_tables or None
+        arcs = tables[1] if tables else None
+        missing = _MISS
         for key in self._volatile_keys:
-            kept.pop(key, None)
+            v = verdicts.pop(key, missing)
+            if v is not missing:
+                dropped[key] = v
+                if arcs is not None and type(key) is int:
+                    arcs[key] = -1
         index = self._verdict_node_keys
         for node in dirty:
-            keys = index.get(node)
+            keys = index.pop(node, None)
             if keys:
+                # The bucket is consumed: every key in it is either dropped
+                # now or already gone from the dict (dropped through another
+                # bucket earlier).  A restore (`pop`) re-registers what it
+                # puts back, so nothing is walked twice across pushes.
                 for key in keys:
-                    kept.pop(key, None)
-        self._pair_verdicts = kept
+                    v = verdicts.pop(key, missing)
+                    if v is not missing:
+                        dropped[key] = v
+                        if arcs is not None and type(key) is int:
+                            arcs[key] = -1
 
     def pop(self) -> None:
         """Undo the most recent push, restoring the exact prior state."""
 
         self._saturation.pop()
         self.stats["pops"] += 1
-        self._pair_verdicts = self._verdict_frames.pop()
+        dropped, added = self._verdict_frames.pop()
+        verdicts = self._pair_verdicts
+        for key in added:
+            verdicts.pop(key, None)
+        if dropped:
+            verdicts.update(dropped)
+            # Restored keys must be findable by future invalidations: the
+            # push that dropped them consumed their dirty-node buckets.
+            register = self._register_verdict_key
+            values = self._values_by_index
+            nvals = self._nvals
+            for key in dropped:
+                if type(key) is int:
+                    register(key, values[key % nvals].node)
+                else:
+                    register(key, key[1].node)
+        # Mirror the delta into the flat tables when they exist; otherwise
+        # they are refilled lazily on the next scan.
+        tables = self._scan_tables or None
+        if tables:
+            arcs = tables[1]
+            for key in added:
+                if type(key) is int:
+                    arcs[key] = -1
+            encode = self._encode_verdict
+            for key, verdict in dropped.items():
+                if type(key) is int:
+                    encode(tables, key, verdict)
+        else:
+            self._scan_dirty = True
 
     def reset_to_depth(self, depth: int) -> None:
         """Pop frames until exactly *depth* pushes remain applied.

@@ -54,7 +54,7 @@ from typing import (
     Tuple,
 )
 
-from ..analysis import graphalgo
+from ..analysis import flatbuf, graphalgo
 from ..analysis.antichain import PersistentAntichain, antichain_indices_from_rows
 from ..analysis.context import context_for
 from ..analysis.interner import OpInterner
@@ -138,6 +138,14 @@ class IncrementalAnalysis:
         #: (the candidate patch path) forces a full rebuild.
         self._adj: List[List[Tuple[int, int]]] = []
         self._adj_version = -1
+        #: Shared topological order of the op ids (plus the position of each
+        #: id in it), cached per revision.  Row computations relax over this
+        #: one order instead of running a per-row DFS; push keeps it alive
+        #: when the new arc already respects it (pos[src] < pos[dst]) and
+        #: pop always keeps it alive (removing arcs cannot break an order).
+        self._topo_ids: List[int] = []
+        self._topo_pos: List[int] = []
+        self._topo_version = -1
 
     @property
     def ddg(self) -> DDG:
@@ -189,39 +197,50 @@ class IncrementalAnalysis:
             self._adj_version = version
         return self._adj
 
+    def _topo_order_ids(self) -> List[int]:
+        """Topological order over op ids (Kahn on the flat adjacency)."""
+
+        version = self._g.version
+        if self._topo_version != version:
+            adj = self._adj_pairs()
+            n = self._n
+            indeg = [0] * n
+            for pairs in adj:
+                for ni, _w in pairs:
+                    indeg[ni] += 1
+            ready = [i for i in range(n) if indeg[i] == 0]
+            order: List[int] = []
+            while ready:
+                nid = ready.pop()
+                order.append(nid)
+                for ni, _w in adj[nid]:
+                    indeg[ni] -= 1
+                    if indeg[ni] == 0:
+                        ready.append(ni)
+            pos = [0] * n
+            for i, nid in enumerate(order):
+                pos[nid] = i
+            self._topo_ids = order
+            self._topo_pos = pos
+            self._topo_version = version
+        return self._topo_ids
+
     def _compute_row_flat(self, src_id: int) -> List[float]:
         """Flat longest-path row from *src_id* (graphalgo semantics, id space).
 
-        One iterative DFS builds the reverse postorder of the subgraph
-        reachable from *src_id* -- a topological order of exactly the nodes
-        the row can mention -- and one relaxation pass over it fills the
-        distances.  No shared whole-graph topological sort is consulted, so
-        arc pushes on the killed mirrors never force an O(V+E) re-sort just
-        to answer the next row.
+        One relaxation pass over the suffix of the shared topological order
+        starting at *src_id* fills the distances; nodes the row cannot reach
+        cost one float compare each.  Longest paths accumulate the same
+        maxima under any topological order, so sharing one sort across all
+        row computations (instead of the historic per-row DFS) cannot
+        change a single distance.
         """
 
         adj = self._adj_pairs()
+        order = self._topo_order_ids()
         dist: List[float] = [_NEG_INF] * self._n
         dist[src_id] = 0
-        visited = bytearray(self._n)
-        visited[src_id] = 1
-        order: List[int] = []
-        stack: List[List[int]] = [[src_id, 0]]
-        while stack:
-            frame = stack[-1]
-            nid = frame[0]
-            out = adj[nid]
-            i = frame[1]
-            if i < len(out):
-                frame[1] = i + 1
-                child = out[i][0]
-                if not visited[child]:
-                    visited[child] = 1
-                    stack.append([child, 0])
-            else:
-                stack.pop()
-                order.append(nid)
-        for nid in reversed(order):
+        for nid in order[self._topo_pos[src_id]:]:
             d = dist[nid]
             if d == _NEG_INF:
                 continue
@@ -229,7 +248,10 @@ class IncrementalAnalysis:
                 nd = d + w
                 if nd > dist[ni]:
                     dist[ni] = nd
-        return dist
+        # The relaxation runs over a plain list (scalar index writes); the
+        # finished row moves to the active kernel backend's buffer type so
+        # every later patch is a whole-row kernel call.
+        return flatbuf.row_from_list(dist)
 
     def row(self, src_id: int) -> List[float]:
         """Exact flat longest-path row from op *src_id* (kept warm)."""
@@ -255,7 +277,7 @@ class IncrementalAnalysis:
         """
 
         row = self.row(self._interner.id(src))
-        return dict(zip(self._interner.names(), row))
+        return dict(zip(self._interner.names(), flatbuf.row_to_list(row)))
 
     def _transient_row_flat(self, src_id: int) -> List[float]:
         """A flat row for one-shot use that must NOT join the warm set.
@@ -275,7 +297,7 @@ class IncrementalAnalysis:
         """Name-keyed view of :meth:`_transient_row_flat` (boundary/compat)."""
 
         row = self._transient_row_flat(self._interner.id(src))
-        return dict(zip(self._interner.names(), row))
+        return dict(zip(self._interner.names(), flatbuf.row_to_list(row)))
 
     def remains_acyclic_with_edges(self, edges) -> bool:
         return graphalgo.mini_graph_remains_acyclic(
@@ -379,7 +401,16 @@ class IncrementalAnalysis:
             src_id = iid(edge.src)
             row_dst = self._transient_row_flat(dst_id)
             adj_fresh = self._adj_version == self._g.version
+            # A re-weighted duplicate adds no ordering constraint; a new arc
+            # keeps the shared topological order valid iff it already
+            # respects it.
+            topo_fresh = self._topo_version == self._g.version and (
+                duplicate is not None
+                or self._topo_pos[src_id] < self._topo_pos[dst_id]
+            )
             self._g.add_edge(edge)
+            if topo_fresh:
+                self._topo_version = self._g.version
             # Maintain the flat adjacency through the mutation instead of
             # rebuilding it on the next row computation: the arc adds (or
             # re-weights) exactly one (dst, latency) pair.
@@ -396,29 +427,16 @@ class IncrementalAnalysis:
 
             # Longest-path rows: lp'(x, y) = max(lp(x, y), lp(x, src)+w+lp(dst, y)).
             # The reachable continuation entries are hoisted once per arc;
-            # each affected row is then a whole-row max-merge whose first
-            # improvement triggers one memcpy-cheap list copy.
+            # each affected row is then one whole-row max-merge kernel call
+            # (vectorized per REPRO_VECTOR) whose first improvement triggers
+            # one memcpy-cheap buffer copy.
             w = edge.latency
-            finite = [
-                (y, dv) for y, dv in enumerate(row_dst) if dv != _NEG_INF
-            ]
+            finite = flatbuf.finite_entries(row_dst)
             for sid, row in list(self._lp_rows.items()):
                 base = row[src_id]
                 if base == _NEG_INF:
                     continue
-                shift = base + w
-                patched: Optional[List[float]] = None
-                changed: Optional[List[int]] = None
-                for y, dv in finite:
-                    cand = shift + dv
-                    if patched is None:
-                        if cand > row[y]:
-                            patched = row.copy()
-                            patched[y] = cand
-                            changed = [y]
-                    elif cand > patched[y]:
-                        patched[y] = cand
-                        changed.append(y)  # type: ignore[union-attr]
+                patched, changed = flatbuf.max_merge(row, base + w, finite)
                 if patched is not None:
                     self._lp_rows[sid] = patched
                     previous = frame.lp_changes.get(sid)
@@ -456,9 +474,14 @@ class IncrementalAnalysis:
         iid = self._interner.id
         for record in reversed(frame.records):
             adj_fresh = self._adj_version == self._g.version
+            # Removing an arc (or restoring the duplicate it replaced, which
+            # has the same endpoints) never breaks a valid topological order.
+            topo_fresh = self._topo_version == self._g.version
             self._g.remove_edge(record.edge)
             if record.replaced is not None:
                 self._g.add_edge(record.replaced)
+            if topo_fresh:
+                self._topo_version = self._g.version
             if adj_fresh:
                 edge = record.edge
                 pairs = self._adj[iid(edge.src)]
@@ -562,6 +585,9 @@ class _CandidateDVState:
         self._delta_w = delta_w
         #: delta_w as a flat list over value indices (the hot threshold scan).
         self._dw: List[int] = [delta_w[i] for i in range(len(values))]
+        #: Backend handle over (value op ids, delta_w) for the threshold
+        #: kernel; built on first use after rebuild() fills _value_opid.
+        self._threshold_prep = None
         self._stats = stats
         self.valid = False
         self.cyclic = False
@@ -692,6 +718,7 @@ class _CandidateDVState:
             opid_value[vid] = j
         self._opid_value = opid_value
         self._value_opid = value_opid
+        self._threshold_prep = flatbuf.prepare_values(value_opid, self._dw)
         self._set_killer_structures(kf, killed)
         bits: Dict[int, int] = {}
         for killer_id in sorted(self._killer_read):
@@ -725,13 +752,12 @@ class _CandidateDVState:
     def _mask_from_row(self, row: List[float], read: int) -> int:
         """The killer's DV bitset from its flat longest-path row (threshold test)."""
 
-        mask = 0
-        dw = self._dw
-        for j, vid in enumerate(self._value_opid):
-            dist = row[vid]
-            if dist != _NEG_INF and dist >= read - dw[j]:
-                mask |= 1 << j
-        return mask
+        prep = self._threshold_prep
+        if prep is None:
+            prep = self._threshold_prep = flatbuf.prepare_values(
+                self._value_opid, self._dw
+            )
+        return flatbuf.threshold_mask(row, prep, read)
 
     def patch(self, bottom_ddg: DDG, kf, pk: Mapping[Value, List[str]]) -> bool:
         """Re-target the warm state onto a new killing function by patching.

@@ -133,6 +133,7 @@ class TestKernels:
         with pytest.raises(KeyError):
             suite_by_name("does-not-exist")
 
+    @pytest.mark.needs_ilp_solver
     def test_figure2_properties(self):
         from repro.saturation import exact_saturation
 

@@ -95,6 +95,7 @@ class TestEngineBackedExperiments:
         assert serial.to_table() == threaded.to_table()
         assert [o.name for o in serial.outcomes] == [o.name for o in threaded.outcomes]
 
+    @pytest.mark.needs_ilp_solver
     def test_ilp_size_reports_byte_identical(self):
         serial = run_ilp_size_study(sizes=(10, 14, 18))
         threaded = run_ilp_size_study(sizes=(10, 14, 18), engine=BatchEngine("thread", 3))

@@ -40,6 +40,7 @@ class TestReporting:
         assert "TITLE" in section("TITLE")
 
 
+@pytest.mark.needs_ilp_solver
 class TestRSOptimalityExperiment:
     def test_report_structure_and_paper_claim(self):
         report = run_rs_optimality(suite=tiny_suite())
@@ -52,6 +53,7 @@ class TestRSOptimalityExperiment:
         assert any("maximal empirical error" in line for line in report.summary_lines())
 
 
+@pytest.mark.needs_ilp_solver
 class TestReductionOptimalityExperiment:
     def test_categories_and_impossible_cases(self):
         report = run_reduction_optimality(
@@ -67,6 +69,7 @@ class TestReductionOptimalityExperiment:
         assert "category" in report.breakdown_report()
 
 
+@pytest.mark.needs_ilp_solver
 class TestILPSizeExperiment:
     def test_quadratic_growth_confirmed(self):
         report = run_ilp_size_study(sizes=(8, 12, 16, 24))

@@ -2,6 +2,9 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="ILP solver tests need the numeric stack")
+pytest.importorskip("scipy", reason="ILP solver tests need the numeric stack")
+
 from repro.errors import InfeasibleError, ModelError, SolverError
 from repro.ilp import (
     IntegerProgram,

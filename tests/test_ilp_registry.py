@@ -2,6 +2,9 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="backend parity tests need the numeric stack")
+pytest.importorskip("scipy", reason="backend parity tests need the numeric stack")
+
 from repro.codes import benchmark_suite
 from repro.errors import SolverError
 from repro.ilp import (

@@ -8,7 +8,9 @@ paper's correctness arguments rest on.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
+
 
 from repro.analysis import (
     critical_path_length,
@@ -175,6 +177,7 @@ class TestAntichainProperties:
         assert 1 <= width <= ddg.n
 
 
+@pytest.mark.needs_ilp_solver
 class TestILPProperties:
     @_SETTINGS
     @given(st.lists(st.integers(0, 20), min_size=1, max_size=4))

@@ -92,6 +92,7 @@ class TestSerializationPrimitives:
 
 
 class TestHeuristicReduction:
+    @pytest.mark.needs_ilp_solver
     def test_figure2_reduced_to_three(self, figure2, superscalar_machine):
         result = reduce_saturation_heuristic(figure2, INT, 3, machine=superscalar_machine)
         assert result.success and result.original_rs == 4
@@ -133,12 +134,14 @@ class TestHeuristicReduction:
         result = reduce_saturation_heuristic(g, INT, 2, machine=superscalar_machine)
         assert not result.success and result.achieved_rs == 4
 
+    @pytest.mark.needs_ilp_solver
     def test_figure2_reduced_to_two_step_by_step(self, figure2, superscalar_machine):
         result = reduce_saturation_heuristic(figure2, INT, 2, machine=superscalar_machine)
         assert result.success
         assert exact_saturation(result.extended_ddg, INT).rs <= 2
         assert result.arcs_added >= 2
 
+    @pytest.mark.needs_ilp_solver
     def test_dispatch_wrapper(self, figure2):
         assert reduce_saturation(figure2, INT, 3, method="heuristic").success
         assert reduce_saturation(figure2, INT, 3, method="exact").success
@@ -147,6 +150,7 @@ class TestHeuristicReduction:
 
 
 class TestExactReduction:
+    @pytest.mark.needs_ilp_solver
     def test_figure2_exact_reduction(self, figure2, superscalar_machine):
         result = reduce_saturation_exact(figure2, INT, 3, machine=superscalar_machine, verify=True)
         assert result.success and result.optimal
@@ -154,11 +158,13 @@ class TestExactReduction:
         assert result.details["verified_rs"] <= 3
         assert result.ilp_loss == 0
 
+    @pytest.mark.needs_ilp_solver
     def test_exact_reduction_spill_detection(self, superscalar_machine):
         g = fork_join_ddg(4)
         with pytest.raises(SpillRequiredError):
             reduce_saturation_exact(g, INT, 3, machine=superscalar_machine)
 
+    @pytest.mark.needs_ilp_solver
     def test_exact_never_loses_more_ilp_than_heuristic(self, superscalar_machine):
         checked = 0
         for g, budget in ((figure2_dag(), 3), (figure2_dag(), 2)):
@@ -172,6 +178,7 @@ class TestExactReduction:
                 checked += 1
         assert checked >= 1
 
+    @pytest.mark.needs_ilp_solver
     def test_src_solver_consistency(self, figure2):
         schedule, solution, info = solve_src(figure2, INT, 2)
         from repro.core.lifetime import register_need
@@ -181,6 +188,7 @@ class TestExactReduction:
         none_schedule, _, _ = solve_src(fork_join_ddg(4), INT, 3)
         assert none_schedule is None
 
+    @pytest.mark.needs_ilp_solver
     def test_src_respects_deadline(self, figure2):
         cp = critical_path_length(figure2.with_bottom())
         schedule, _, _ = solve_src(figure2, INT, 3, deadline=cp)
@@ -196,6 +204,7 @@ class TestExactReduction:
         assert extended.is_acyclic()
 
 
+@pytest.mark.needs_ilp_solver
 class TestMinimization:
     def test_figure2_minimization_reaches_two(self, figure2, superscalar_machine):
         result = minimize_register_need(figure2, INT, machine=superscalar_machine)

@@ -275,6 +275,7 @@ class TestEngineStoreIntegration:
                          plan=lambda t: (t[0], "scipy") if t[1] == "auto" else t)
         assert out == [("a", "scipy"), ("b", "forced")]
 
+    @pytest.mark.needs_ilp_solver
     def test_backend_override_is_part_of_the_experiment_key(self, monkeypatch, tmp_path):
         """A forced REPRO_ILP_BACKEND must never read another backend's cache."""
 

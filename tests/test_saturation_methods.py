@@ -28,6 +28,7 @@ SMALL_SHAPES = [
 
 class TestAnalyticalShapes:
     @pytest.mark.parametrize("name,ddg,expected", SMALL_SHAPES, ids=[s[0] for s in SMALL_SHAPES])
+    @pytest.mark.needs_ilp_solver
     def test_exact_matches_analytical(self, name, ddg, expected):
         assert exact_saturation(ddg, INT).rs == expected
 
@@ -39,6 +40,7 @@ class TestAnalyticalShapes:
     def test_schedule_enumeration_matches(self, name, ddg, expected):
         assert saturation_by_schedule_enumeration(ddg, INT).rs == expected
 
+    @pytest.mark.needs_ilp_solver
     def test_figure2_saturation_is_four(self, figure2):
         assert exact_saturation(figure2, INT).rs == 4
         assert greedy_saturation(figure2, INT).rs == 4
@@ -48,6 +50,7 @@ class TestAnalyticalShapes:
         assert greedy_saturation(figure2, FLOAT).rs == 0
 
 
+@pytest.mark.needs_ilp_solver
 class TestSandwichInvariants:
     @pytest.mark.parametrize(
         "entry",
@@ -92,6 +95,7 @@ class TestOracles:
         result = saturation_by_schedule_enumeration(fork4_ddg, INT, limit=3)
         assert not result.optimal and result.details["truncated"]
 
+    @pytest.mark.needs_ilp_solver
     def test_compute_saturation_dispatch(self, figure2):
         assert compute_saturation(figure2, INT, method="greedy").rs == 4
         assert compute_saturation(figure2, INT, method="exact").rs == 4
@@ -133,11 +137,13 @@ class TestModelSize:
         assert pruned.num_variables <= full.num_variables
         assert pruned.num_constraints < full.num_constraints
 
+    @pytest.mark.needs_ilp_solver
     def test_pruning_preserves_optimum(self):
         for name, ddg, expected in SMALL_SHAPES:
             assert exact_saturation(ddg, INT, prune=False).rs == expected
 
 
+@pytest.mark.needs_ilp_solver
 class TestVLIWOffsets:
     def test_saturation_with_offsets_still_bounded(self):
         ddg = retarget(fork_join_ddg(4, latency=3), vliw())
