@@ -19,13 +19,15 @@ suite) -- and checks:
 * the incremental engine actually took its warm paths -- including the
   PR-5 candidate engine (killed-graph patches, pair-verdict reuse,
   keep-alive schedule repairs);
-* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 12.5
-  locally -- PR 9's vectorized verdict scan and patched cp state raised the
-  measured aggregate from ~10.5x to 12.9x-14.4x on the same box *while* the
-  population grew by sb240; back-to-back runs repeat the incremental side
-  within 0.5% and carry the noise on the from-scratch side, and the
-  per-instance peak is ~16x at scale-sb200.  CI's smoke mode only guards
-  against regressions).
+* the aggregate speedup meets ``REPRO_REDUCTION_SPEEDUP_MIN`` (default 15
+  locally -- PR 9's vectorized verdict scan and patched cp state measured
+  12.9x-14.4x; PR 10's batched push path (block row-patching, bulk mirror
+  seeding, the cached component decomposition) plus a gc.collect before
+  each timed leg -- the collector used to bill the incremental run for
+  hundreds of seconds of prior scratch garbage -- measured 16.0x, with the
+  per-instance peak ~18x at scale-sb200 and the measured rows recorded in
+  the BENCH_batchpush.json artifact.  CI's smoke mode only guards against
+  regressions).
 
 ``test_antichain_engine_speedup`` isolates PR 3's kernel claim: it records
 the DV-row trace of every Greedy-k candidate during a real reduction of the
@@ -59,6 +61,7 @@ kernel-level sections of ``bench_vector.py`` and uploads as
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
@@ -151,6 +154,14 @@ def _normalized_report(result):
 
 
 def _run(ddg, rtype, budget, engine):
+    # Collect before the timed region: by the time the comparison reaches
+    # the superblock tier the process heap carries hundreds of seconds of
+    # prior instances' garbage, and CPython's generational collector bills
+    # whoever happens to be running when its thresholds trip.  Measured on
+    # sb240: the incremental leg read 16.9s straight after a 260s scratch
+    # run vs 13.3s in a fresh process; a collect first recovers most of the
+    # gap.  Symmetric for both engines, so the ratio stays honest.
+    gc.collect()
     start = time.perf_counter()
     result = reduce_saturation_heuristic(
         ddg.copy(), rtype, budget, engine=engine
@@ -231,7 +242,7 @@ def test_incremental_session_speedup():
     # Local default states the claim; CI smoke mode overrides to a
     # regression guard (shared runners time noisily and the smoke suite is
     # too small for the asymptotic win to show).
-    default_min = "1.0" if _SMOKE else "12.5"
+    default_min = "1.0" if _SMOKE else "15"
     minimum = float(os.environ.get("REPRO_REDUCTION_SPEEDUP_MIN", default_min))
     assert speedup >= minimum, (
         f"expected the incremental session to be >= {minimum:.1f}x faster, "

@@ -11,8 +11,11 @@ implementations behind one interface:
 
 * ``numpy`` -- rows are ``float64`` ndarrays, kernels are whole-array ops
   (fancy gather + compare + ``packbits``); used when numpy is importable.
-* ``stdlib`` -- rows are ``array('d')`` buffers, kernels are the scalar
-  loops over them; always available, no third-party imports.
+* ``stdlib`` -- scan tables are ``array('d')``/``array('q')`` buffers where
+  that measurably wins (:func:`pair_tables`); rows are plain lists run by
+  the scalar loops (``array('d')`` element reads box a fresh float per
+  access, which made the "vectorized" stdlib row kernels *lose* to the
+  plain loop -- see :data:`_ROW_NUMPY_MIN` for the measurements).
 * ``off`` -- rows stay plain ``List[float]`` and every kernel runs the
   exact PR-6 scalar code; this is the reference the other two are
   property-tested against (``tests/test_flatbuf.py``) and the
@@ -34,6 +37,16 @@ the backend is switched mid-session (the tests do exactly that through
 :func:`use`).  ``counters["vector_kernel_calls"]`` counts vectorized kernel
 invocations (numpy or stdlib buffers; the ``off`` scalar reference does not
 count) and is surfaced in ``ReductionResult.details["engine_stats"]``.
+
+PR 10 adds the *batched push path*: :func:`max_merge_rows` patches every
+dirty lp row under one pushed arc as a single (rows x n) block operation
+(its pre-image snapshots are the block undo frames of
+``IncrementalAnalysis``), and :func:`relax_sources` seeds several
+longest-path rows in one multi-source relaxation pass over the shared flat
+adjacency.  Both are counted by backend-independent *path* counters
+(``counters["row_block_patches"]`` / ``counters["mirror_bulk_seeds"]``) so
+CI can assert the batched path is actually taken even on the no-numpy leg,
+where the kernels run their scalar forms.
 """
 
 from __future__ import annotations
@@ -59,9 +72,12 @@ __all__ = [
     "counters",
     "finite_entries",
     "max_merge",
+    "max_merge_rows",
     "numpy_available",
     "pair_tables",
     "prepare_values",
+    "relax_sources",
+    "row_buffer",
     "row_from_list",
     "row_to_list",
     "scan_pairs",
@@ -76,8 +92,18 @@ NEG_INF = float("-inf")
 BACKENDS = ("auto", "numpy", "stdlib", "off")
 
 #: Vectorized-kernel invocation counters (module-wide; sessions snapshot
-#: and diff them for their ``engine_stats``).
-counters: Dict[str, int] = {"vector_kernel_calls": 0}
+#: and diff them for their ``engine_stats``).  ``vector_kernel_calls``
+#: counts *vectorized* invocations only (numpy buffers; the scalar forms do
+#: not count), while ``row_block_patches`` / ``mirror_bulk_seeds`` are
+#: *path* counters: they increment on every :func:`max_merge_rows` /
+#: :func:`relax_sources` call regardless of backend, so the CI smoke job
+#: can assert the batched push path is taken even where the kernels run
+#: their scalar forms (``REPRO_VECTOR=off`` and the no-numpy leg).
+counters: Dict[str, int] = {
+    "vector_kernel_calls": 0,
+    "row_block_patches": 0,
+    "mirror_bulk_seeds": 0,
+}
 
 _active: Optional[str] = None
 
@@ -139,18 +165,50 @@ def use(spec: str) -> Iterator[str]:
 # --------------------------------------------------------------------- #
 # Row buffers
 # --------------------------------------------------------------------- #
-def row_from_list(values: List[float]):
-    """A longest-path row buffer for the active backend.
+#: Row width below which even the numpy backend keeps rows as plain lists.
+#: Measured on this container (benchmarks/bench_batchpush.py,
+#: ``BENCH_batchpush.json`` section ``row_gate``): per-call numpy overhead
+#: loses to the plain-list scalar loops on narrow rows (per-row max_merge
+#: crosses over around n~200, the block kernel around n~180 with realistic
+#: row counts, threshold_mask around n~96; at n=240 the ndarray forms win
+#: 1.3x / 1.45x / 2.9x respectively), and the stdlib ``array('d')``
+#: buffers lose at *every* width because each element read boxes a fresh
+#: float (the BENCH_vector.json anomaly: stdlib max_merge 0.00383s vs off
+#: 0.00283s at row width 240).  Dispatch therefore keys on the measured
+#: crossover of the row width, not on backend presence alone: plain lists
+#: below it, ndarrays at or above it, ``array('d')`` rows never.
+_ROW_NUMPY_MIN = 160
 
-    ``off`` returns the list itself (no copy -- the scalar reference path
-    is exactly PR 6's); the buffer backends copy into contiguous storage.
+
+def row_from_list(values: List[float]):
+    """A longest-path row buffer for the active backend (no width gate).
+
+    ``off`` and ``stdlib`` return the list itself (no copy -- the scalar
+    loops are the measured winners over ``array('d')`` buffers, whose
+    element reads box a fresh float each); ``numpy`` copies into a
+    contiguous ndarray.  Hot analysis code uses :func:`row_buffer` instead,
+    which additionally applies the measured :data:`_ROW_NUMPY_MIN` width
+    gate; this ungated form is the parity-test / benchmark constructor that
+    always yields the backend's vector buffer type.
     """
 
-    b = backend()
-    if b == "numpy":
+    if backend() == "numpy":
         return _np.asarray(values, dtype=_np.float64)
-    if b == "stdlib":
-        return array("d", values)
+    return values
+
+
+def row_buffer(values: List[float]):
+    """A row buffer for the active backend under the measured width gate.
+
+    The analysis-facing constructor: rows narrower than
+    :data:`_ROW_NUMPY_MIN` stay plain lists even under the numpy backend
+    (the scalar loops win there -- see the gate's measurement note), so
+    every kernel dispatching on the runtime buffer type takes the fastest
+    measured form for the instance size at hand.
+    """
+
+    if backend() == "numpy" and len(values) >= _ROW_NUMPY_MIN:
+        return _np.asarray(values, dtype=_np.float64)
     return values
 
 
@@ -222,17 +280,149 @@ def max_merge(row, shift, finite):
     return patched, changed
 
 
+def max_merge_rows(rows, shifts, finite):
+    """Block form of :func:`max_merge`: patch several rows under one arc.
+
+    *rows* are the buffers with a finite ``lp(x, src)`` (all the same
+    backend type), *shifts* the per-row ``lp(x, src) + w`` values, *finite*
+    the arc destination's hoisted continuation entries.  Unlike the
+    copy-on-write :func:`max_merge`, the rows are patched **in place** --
+    this is the batched push path, whose undo format is the returned
+    pre-image block instead of per-row copies.
+
+    Returns ``(changed_positions, changed_cols, snapshots)``:
+
+    * ``changed_positions`` -- ascending indices into *rows* that improved;
+    * ``changed_cols`` -- per changed row, the ascending column ids that
+      grew (the ``lp_changes`` contract of the per-row kernel);
+    * ``snapshots`` -- per changed row, its full pre-image (under numpy one
+      contiguous ``(changed, n)`` block, handed out as row views).
+
+    The scalar form runs the exact per-row reference loop (every finite
+    entry has a distinct column, so comparing against the mutating row is
+    identical to comparing against a pristine copy), and the numpy form
+    performs the same IEEE-754 adds/compares elementwise, so the patched
+    state is byte-identical across backends (``tests/test_batchpush.py``).
+    """
+
+    counters["row_block_patches"] += 1
+    if not rows:
+        return [], [], []
+    if _np is not None and type(rows[0]) is _np.ndarray:
+        counters["vector_kernel_calls"] += 1
+        idx, vals = finite
+        if len(idx) == 0:
+            return [], [], []
+        stacked = _np.stack(rows)
+        sub = stacked[:, idx]
+        cand = _np.asarray(shifts, dtype=_np.float64)[:, None] + vals[None, :]
+        improved = cand > sub
+        rowmask = improved.any(axis=1)
+        if not rowmask.any():
+            return [], [], []
+        changed_positions = _np.nonzero(rowmask)[0]
+        # The pre-image snapshot: one contiguous block of exactly the rows
+        # about to change (fancy indexing copies out of `stacked`, which
+        # still holds every pre-image).
+        snapshot_block = stacked[changed_positions]
+        changed_cols: List[List[int]] = []
+        for r in changed_positions:
+            mask = improved[r]
+            cols = idx[mask]
+            rows[r][cols] = cand[r][mask]
+            changed_cols.append(cols.tolist())
+        return (
+            changed_positions.tolist(),
+            changed_cols,
+            list(snapshot_block),
+        )
+    changed_positions_s: List[int] = []
+    changed_cols_s: List[List[int]] = []
+    snapshots: List[List[float]] = []
+    for p, row in enumerate(rows):
+        shift = shifts[p]
+        snap = None
+        cols: Optional[List[int]] = None
+        for y, dv in finite:
+            cand = shift + dv
+            if cand > row[y]:
+                if snap is None:
+                    snap = row[:]
+                    cols = [y]
+                else:
+                    cols.append(y)  # type: ignore[union-attr]
+                row[y] = cand
+        if snap is not None:
+            changed_positions_s.append(p)
+            changed_cols_s.append(cols)  # type: ignore[arg-type]
+            snapshots.append(snap)
+    return changed_positions_s, changed_cols_s, snapshots
+
+
+# --------------------------------------------------------------------- #
+# Kernel 1b: multi-source longest-path seeding (killed-mirror rebuilds)
+# --------------------------------------------------------------------- #
+def relax_sources(adj, order, start, sources, n):
+    """Seed several longest-path rows in one pass over the shared topo order.
+
+    *adj* is the dense flat out-adjacency (op id -> list of ``(succ_id,
+    weight)`` pairs, indexable by id), *order* is the shared topological
+    order, *start* the earliest position any source occupies (positions
+    before it cannot reach any source), *sources* the distinct op ids to
+    seed, *n* the row width.  Returns one row buffer per source, in
+    *sources* order, each exactly what the per-source single-relaxation
+    pass would have produced (``tests/test_batchpush.py`` pins the
+    byte-identity; the seed distance is the integer ``0``, matching the
+    reference seeding).
+
+    The batching win here is **algorithmic, not SIMD**: one walk over the
+    ``order[start:]`` suffix shares each node's adjacency reads across all
+    k rows instead of re-walking per source.  An ndarray (k x n) variant
+    was measured on this container (benchmarks/bench_batchpush.py,
+    ``BENCH_batchpush.json`` section ``relax_seeding``) and *lost* at every
+    realistic shape -- 0.024s vs 0.0017s at (n=240, k=2), still 1.8x
+    slower at k=32 -- because the sparse walk decays into two numpy calls
+    per edge on length-k vectors.  Dispatch keyed on the measurements, so
+    this kernel is scalar on every backend; only the returned buffer type
+    follows :func:`row_buffer`.
+    """
+
+    counters["mirror_bulk_seeds"] += 1
+    rows = []
+    for src in sources:
+        row: List[float] = [NEG_INF] * n
+        row[src] = 0
+        rows.append(row)
+    for nid in order[start:]:
+        succs = adj[nid]
+        if not succs:
+            continue
+        for row in rows:
+            d = row[nid]
+            if d == NEG_INF:
+                continue
+            for ni, w in succs:
+                nd = d + w
+                if nd > row[ni]:
+                    row[ni] = nd
+    return [row_buffer(row) for row in rows]
+
+
 # --------------------------------------------------------------------- #
 # Kernel 2: DV threshold scan (killer bitset from a longest-path row)
 # --------------------------------------------------------------------- #
-def prepare_values(value_opids: Sequence[int], delta_w: Sequence[int]):
+def prepare_values(
+    value_opids: Sequence[int], delta_w: Sequence[int], n: Optional[int] = None
+):
     """Backend handle over the value-id / delta_w tables of one DV state.
 
     Built once per killing-function rebuild; :func:`threshold_mask` then
-    gathers through it on every killer-row seed.
+    gathers through it on every killer-row seed.  Pass the row width *n*
+    when known: below :data:`_ROW_NUMPY_MIN` the rows themselves are plain
+    lists (see :func:`row_buffer`), so the prep stays scalar to match.
     """
 
-    if backend() == "numpy":
+    if backend() == "numpy" and (n is None or n >= _ROW_NUMPY_MIN):
         return (
             _np.asarray(list(value_opids), dtype=_np.intp),
             _np.asarray(list(delta_w), dtype=_np.int64),

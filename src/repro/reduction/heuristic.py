@@ -157,6 +157,8 @@ class _SessionDriver:
         # deltas (kernel calls are counted in flatbuf, shm attaches in the
         # worker process that unpickled the instance).
         self._kernel_calls_start = flatbuf.counters["vector_kernel_calls"]
+        self._block_patches_start = flatbuf.counters["row_block_patches"]
+        self._bulk_seeds_start = flatbuf.counters["mirror_bulk_seeds"]
 
     def critical_path(self) -> int:
         return self.session.critical_path()
@@ -205,6 +207,16 @@ class _SessionDriver:
                 "vector_kernel_calls": (
                     flatbuf.counters["vector_kernel_calls"]
                     - self._kernel_calls_start
+                ),
+                # Batched-push-path counters (backend-independent: they
+                # count the path being taken, not vectorized execution).
+                "row_block_patches": (
+                    flatbuf.counters["row_block_patches"]
+                    - self._block_patches_start
+                ),
+                "mirror_bulk_seeds": (
+                    flatbuf.counters["mirror_bulk_seeds"]
+                    - self._bulk_seeds_start
                 ),
                 "shm_attaches": shm.counters["attaches"],
                 "shm_fallbacks": shm.counters["fallbacks"],

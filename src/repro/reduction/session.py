@@ -94,6 +94,7 @@ class ReductionSession:
         mode: str = SerializationMode.OFFSETS,
         prune_redundant: bool = True,
         name: Optional[str] = None,
+        frame_mode: str = "block",
     ) -> None:
         self.rtype = canonical_type(rtype)
         self.mode = mode
@@ -101,7 +102,11 @@ class ReductionSession:
         self.pruned: List[Edge] = []
         if prune_redundant:
             working, self.pruned = prune_redundant_serial_arcs(working)
-        self._analysis = IncrementalAnalysis(working)
+        # frame_mode selects the working analysis's undo-frame format:
+        # "block" (default) batches the per-push row patching through the
+        # `max_merge_rows` kernel; "per-row" keeps the PR-6 copy-on-write
+        # reference path (`tests/test_batchpush.py` pins their equality).
+        self._analysis = IncrementalAnalysis(working, frame_mode=frame_mode)
         self._saturation = IncrementalSaturation(self._analysis, self.rtype)
         self._saturation.killing_set_cache = _KillingSetCache()
         # Flat pair keying: the saturation state already indexes the mirror's

@@ -1,0 +1,367 @@
+"""Property tests for the batched push path (PR 10).
+
+Three layers, each pinned against its per-row/per-source reference:
+
+* the ``max_merge_rows`` block kernel vs a loop of per-row ``max_merge``
+  calls (patched state, change log, and pre-image snapshots);
+* ``relax_sources`` multi-source seeding vs one relaxation per source;
+* block undo frames vs PR 6's per-row copy-on-write frames under random
+  push/pop/reset_to_depth interleavings, at the ``IncrementalAnalysis``
+  level and through a full ``ReductionSession`` reduction -- across every
+  available ``REPRO_VECTOR`` backend (the no-numpy CI job runs the same
+  file with numpy absent), plus the ``ComponentCache`` driver-loop repair
+  vs the from-scratch bipartite decomposition.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import flatbuf
+from repro.analysis.context import context_for
+from repro.codes.generator import layered_random_ddg
+from repro.core.graph import Edge
+from repro.core.types import INT, DependenceKind
+from repro.reduction import ReductionSession
+from repro.saturation.greedy import ComponentCache, _bipartite_components
+from repro.saturation.incremental import IncrementalAnalysis
+from repro.saturation.pkill import potential_killers_map
+
+NEG_INF = flatbuf.NEG_INF
+
+
+def _available_backends():
+    backends = ["off", "stdlib"]
+    if flatbuf.numpy_available():
+        backends.append("numpy")
+    return backends
+
+
+def _random_row(rng, n, p_inf=0.3):
+    return [
+        NEG_INF if rng.random() < p_inf else float(rng.randint(-50, 200))
+        for _ in range(n)
+    ]
+
+
+class TestMaxMergeRowsParity:
+    def test_block_kernel_matches_per_row_reference(self):
+        rng = random.Random(20260808)
+        for case in range(120):
+            n = rng.randint(1, 80)
+            k = rng.randint(0, 6)
+            row_vals = [_random_row(rng, n) for _ in range(k)]
+            dst_vals = _random_row(rng, n, p_inf=rng.choice([0.1, 0.5, 1.0]))
+            shifts = [float(rng.randint(-10, 60)) for _ in range(k)]
+
+            # Scalar reference: per-row copy-on-write max_merge.
+            with flatbuf.use("off"):
+                ref_rows = [list(r) for r in row_vals]
+                ref_changed = {}
+                finite = flatbuf.finite_entries(list(dst_vals))
+                for p in range(k):
+                    patched, changed = flatbuf.max_merge(
+                        ref_rows[p], shifts[p], finite
+                    )
+                    if patched is not None:
+                        ref_rows[p] = patched
+                        ref_changed[p] = changed
+
+            for spec in _available_backends():
+                with flatbuf.use(spec):
+                    rows = [flatbuf.row_from_list(list(r)) for r in row_vals]
+                    dst = flatbuf.row_from_list(list(dst_vals))
+                    positions, cols, snaps = flatbuf.max_merge_rows(
+                        rows, list(shifts), flatbuf.finite_entries(dst)
+                    )
+                    label = f"case {case}: {spec}"
+                    assert positions == sorted(ref_changed), label
+                    assert {p: c for p, c in zip(positions, cols)} == (
+                        ref_changed
+                    ), label
+                    # Rows were patched in place to the reference state...
+                    got = [flatbuf.row_to_list(r) for r in rows]
+                    assert got == ref_rows, label
+                    # ... and every snapshot is the exact pre-image.
+                    for p, snap in zip(positions, snaps):
+                        assert flatbuf.row_to_list(snap) == row_vals[p], label
+
+    def test_empty_inputs(self):
+        for spec in _available_backends():
+            with flatbuf.use(spec):
+                assert flatbuf.max_merge_rows([], [], []) == ([], [], [])
+                row = flatbuf.row_from_list([1.0, NEG_INF])
+                dst = flatbuf.row_from_list([NEG_INF, NEG_INF])
+                positions, cols, snaps = flatbuf.max_merge_rows(
+                    [row], [5.0], flatbuf.finite_entries(dst)
+                )
+                assert positions == [] and cols == [] and snaps == []
+                assert flatbuf.row_to_list(row) == [1.0, NEG_INF]
+
+    def test_path_counter_increments_on_every_backend(self):
+        for spec in _available_backends():
+            with flatbuf.use(spec):
+                before = flatbuf.counters["row_block_patches"]
+                row = flatbuf.row_from_list([0.0, NEG_INF])
+                dst = flatbuf.row_from_list([NEG_INF, 3.0])
+                flatbuf.max_merge_rows([row], [1.0], flatbuf.finite_entries(dst))
+                assert flatbuf.counters["row_block_patches"] == before + 1
+
+
+def _random_dag(rng, n, p=0.18):
+    """A dense-list adjacency + topo order of a random DAG on 0..n-1."""
+
+    adj = [[] for _ in range(n)]
+    for src in range(n):
+        for dst in range(src + 1, n):
+            if rng.random() < p:
+                adj[src].append((dst, rng.randint(1, 5)))
+                if rng.random() < 0.15:
+                    # Duplicate edge with another weight: the kernel must
+                    # max-accumulate, not last-write-win.
+                    adj[src].append((dst, rng.randint(1, 5)))
+    order = list(range(n))
+    return adj, order
+
+
+def _reference_row(adj, order, src, n):
+    """The single-source relaxation `_compute_row_flat` runs (scalar)."""
+
+    dist = [NEG_INF] * n
+    dist[src] = 0
+    for nid in order[order.index(src):]:
+        d = dist[nid]
+        if d == NEG_INF:
+            continue
+        for ni, w in adj[nid]:
+            nd = d + w
+            if nd > dist[ni]:
+                dist[ni] = nd
+    return dist
+
+
+class TestRelaxSourcesParity:
+    @pytest.mark.parametrize("n", [7, 40, 64, 150])
+    def test_multi_source_matches_per_source_reference(self, n):
+        rng = random.Random(9000 + n)
+        adj, order = _random_dag(rng, n)
+        for k in (1, 2, 3, 8):
+            sources = rng.sample(range(n), min(k, n))
+            start = min(order.index(s) for s in sources)
+            expected = [_reference_row(adj, order, s, n) for s in sources]
+            for spec in _available_backends():
+                with flatbuf.use(spec):
+                    rows = flatbuf.relax_sources(adj, order, start, sources, n)
+                    got = [flatbuf.row_to_list(r) for r in rows]
+                    assert got == expected, f"n={n} k={k}: {spec}"
+
+    def test_path_counter_increments_on_every_backend(self):
+        adj, order = _random_dag(random.Random(5), 10)
+        for spec in _available_backends():
+            with flatbuf.use(spec):
+                before = flatbuf.counters["mirror_bulk_seeds"]
+                flatbuf.relax_sources(adj, order, 0, [0, 1], 10)
+                assert flatbuf.counters["mirror_bulk_seeds"] == before + 1
+
+
+def _serial_arc_pool(ddg, rng, count=24):
+    """Random forward serial arcs that keep the graph acyclic."""
+
+    ctx = context_for(ddg)
+    topo = ctx.topological_order()
+    pos = {name: i for i, name in enumerate(topo)}
+    names = list(topo)
+    pool = []
+    for _ in range(count):
+        a, b = rng.sample(names, 2)
+        if pos[a] > pos[b]:
+            a, b = b, a
+        pool.append(Edge(a, b, rng.randint(0, 3), DependenceKind.SERIAL, None))
+    return pool
+
+
+def _row_state(analysis):
+    """Warm-row snapshot: sorted (src id, row contents) pairs.
+
+    ``row_to_list`` hands back the live list object for scalar rows, which
+    block mode then patches in place -- copy so snapshots stay snapshots.
+    """
+
+    return sorted(
+        (sid, list(flatbuf.row_to_list(row)))
+        for sid, row in analysis._lp_rows.items()
+    )
+
+
+class TestBlockFramesMatchPerRowFrames:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_push_pop_interleavings(self, seed):
+        rng = random.Random(400 + seed)
+        ddg = layered_random_ddg(nodes=16 + seed, layers=4, seed=seed)
+        block = IncrementalAnalysis(ddg.copy(), frame_mode="block")
+        perrow = IncrementalAnalysis(ddg.copy(), frame_mode="per-row")
+        pool = _serial_arc_pool(ddg, rng)
+        all_ids = list(range(block._n))
+
+        for step in range(40):
+            op = rng.random()
+            if op < 0.25 and block.depth:
+                block.pop()
+                perrow.pop()
+            elif op < 0.35:
+                # Seed rows mid-epoch (exercises added_rows bookkeeping,
+                # including the multi-source batch constructor).
+                ids = rng.sample(all_ids, rng.randint(1, 4))
+                rows_b = block.rows_multi(ids)
+                rows_p = perrow.rows_multi(ids)
+                assert [flatbuf.row_to_list(r) for r in rows_b] == [
+                    flatbuf.row_to_list(r) for r in rows_p
+                ], f"seed {seed} step {step}"
+            else:
+                edges = [pool[rng.randrange(len(pool))]
+                         for _ in range(rng.randint(1, 2))]
+                frame_b = block.push(list(edges))
+                frame_p = perrow.push(list(edges))
+                assert frame_b.lp_changes == frame_p.lp_changes, (
+                    f"seed {seed} step {step}"
+                )
+            assert block.depth == perrow.depth
+            assert _row_state(block) == _row_state(perrow), (
+                f"seed {seed} step {step}"
+            )
+            assert sorted(
+                (e.src, e.dst, e.latency) for e in block.ddg.edges()
+            ) == sorted((e.src, e.dst, e.latency) for e in perrow.ddg.edges())
+
+        # Unwind completely: both must land on the pristine baseline.
+        while block.depth:
+            block.pop()
+            perrow.pop()
+        assert _row_state(block) == _row_state(perrow)
+        # ... and every restored row equals a from-scratch recompute.
+        fresh = IncrementalAnalysis(ddg.copy())
+        for sid, row in _row_state(block):
+            assert row == flatbuf.row_to_list(fresh.row(sid)), sid
+
+    def test_same_epoch_evict_and_reseed_restores_preimage(self):
+        """A row evicted and re-seeded inside one epoch pops to its pre-image."""
+
+        ddg = layered_random_ddg(nodes=14, layers=3, seed=7)
+        analysis = IncrementalAnalysis(ddg.copy(), frame_mode="block")
+        rng = random.Random(3)
+        pool = _serial_arc_pool(ddg, rng)
+        sid = 0
+        analysis.row(sid)
+        before = _row_state(analysis)
+        applied = None
+        for edge in pool:
+            frame = analysis.push([edge])
+            if frame.lp_changes:
+                applied = edge
+                break
+            analysis.pop()
+        if applied is None:
+            pytest.skip("population admits no effective serialization")
+        analysis.evict_row_id(sid)
+        analysis.row(sid)  # re-seeded inside the same epoch
+        analysis.pop()
+        assert _row_state(analysis) == before
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_session_reduction_identical_across_frame_modes(self, seed):
+        ddg = layered_random_ddg(nodes=15 + seed, layers=4, seed=30 + seed)
+        for spec in _available_backends():
+            with flatbuf.use(spec):
+                fingerprints = {}
+                for frame_mode in ("block", "per-row"):
+                    session = ReductionSession(
+                        ddg.copy(), INT, frame_mode=frame_mode
+                    )
+                    trace = [session.analysis_fingerprint()]
+                    for _ in range(3):
+                        sat = session.saturation()
+                        if not _push_one(session, sat):
+                            break
+                        trace.append(session.analysis_fingerprint())
+                    if session.depth >= 1:
+                        session.reset_to_depth(session.depth - 1)
+                        trace.append(session.analysis_fingerprint())
+                    session.reset_to_depth(0)
+                    trace.append(session.analysis_fingerprint())
+                    fingerprints[frame_mode] = trace
+                assert fingerprints["block"] == fingerprints["per-row"], (
+                    f"seed {seed}: {spec}"
+                )
+
+
+def _push_one(session, sat):
+    for u in sat.saturating_values:
+        for v in sat.saturating_values:
+            if u == v:
+                continue
+            edges = session.legal_serialization(u, v)
+            if edges:
+                session.push(edges)
+                return True
+    return False
+
+
+class TestComponentCache:
+    def _pk(self, seed, nodes=20):
+        ddg = layered_random_ddg(nodes=nodes, layers=4, seed=seed).with_bottom()
+        return potential_killers_map(ddg, INT, context_for(ddg))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_repair_matches_fresh_decomposition(self, seed):
+        pk = dict(self._pk(seed))
+        cache = ComponentCache()
+        rng = random.Random(seed)
+        assert cache.decompose(pk) == _bipartite_components(pk)
+        for _round in range(8):
+            values = list(pk)
+            for v in rng.sample(values, rng.randint(1, 3)):
+                row = list(pk[v])
+                if row and rng.random() < 0.5:
+                    row.pop(rng.randrange(len(row)))
+                pk[v] = row  # fresh object: marks the value dirty
+            assert cache.decompose(pk) == _bipartite_components(pk), _round
+        assert cache.reused > 0
+
+    def test_clean_iteration_reuses_every_component(self):
+        pk = dict(self._pk(2))
+        cache = ComponentCache()
+        first = cache.decompose(pk)
+        again = cache.decompose(dict(pk))  # same row objects, new dict
+        assert again == first
+        assert cache.reused == len(first)
+
+    def test_key_set_change_forces_rebuild(self):
+        pk = dict(self._pk(3))
+        cache = ComponentCache()
+        cache.decompose(pk)
+        smaller = dict(pk)
+        smaller.pop(next(iter(smaller)))
+        assert cache.decompose(smaller) == _bipartite_components(smaller)
+
+
+class TestEngineCounters:
+    def test_batched_path_counters_surface_in_engine_stats(self):
+        from repro.codes import kernel_suite
+        from repro.reduction import reduce_saturation_heuristic
+
+        entry = {e.name: e for e in kernel_suite()}["linpack-daxpy-u4"]
+        ddg, rtype = entry.ddg, entry.ddg.register_types()[0]
+        for spec in _available_backends():
+            with flatbuf.use(spec):
+                result = reduce_saturation_heuristic(
+                    ddg.copy(), rtype, 4, engine="incremental"
+                )
+                stats = result.details["engine_stats"]
+                # Path counters are backend-independent: the batched path
+                # must be taken even where the kernels run scalar forms.
+                assert stats["row_block_patches"] > 0, spec
+                assert stats["mirror_bulk_seeds"] > 0, spec
+                assert stats["components_reused"] > 0, spec
+                assert "greedy_decompose" in stats["stage_timings"], spec
